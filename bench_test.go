@@ -1,0 +1,435 @@
+package camelot
+
+// Benchmarks E01..E13 regenerate the per-theorem experiment measurements
+// recorded in EXPERIMENTS.md (the paper is an extended abstract with no
+// numbered tables; DESIGN.md §3 maps theorems to experiment ids). Run
+//
+//	go test -bench=. -benchmem .
+//
+// Absolute numbers are host-dependent; the claims under test are the
+// *shapes*: proof sizes, total-work ratios against sequential baselines,
+// 1/K per-node scaling, and verification costing one node's share.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"camelot/internal/chromatic"
+	"camelot/internal/cliques"
+	"camelot/internal/cnfsat"
+	"camelot/internal/conv3sum"
+	"camelot/internal/core"
+	"camelot/internal/csp"
+	"camelot/internal/ff"
+	"camelot/internal/graph"
+	"camelot/internal/hamilton"
+	"camelot/internal/matrix"
+	"camelot/internal/orthvec"
+	"camelot/internal/permanent"
+	"camelot/internal/poly"
+	"camelot/internal/rs"
+	"camelot/internal/setcover"
+	"camelot/internal/tensor"
+	"camelot/internal/triangles"
+	"camelot/internal/tutte"
+)
+
+// runFull executes a complete Camelot protocol round for benchmarking.
+func runFull(b *testing.B, p core.Problem, opts core.Options) *core.Report {
+	b.Helper()
+	var rep *core.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rep, err = core.Run(context.Background(), p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// --- E1: Theorem 1, k-clique Camelot vs sequential ---------------------------
+
+func BenchmarkE01KCliqueCamelot(b *testing.B) {
+	g := graph.Gnp(8, 0.7, 1)
+	p, err := cliques.NewProblem(g, 6, tensor.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := runFull(b, p, core.Options{Nodes: 8, Seed: 1, DecodingNodes: 1})
+	b.ReportMetric(float64(rep.ProofSymbols), "proof-symbols")
+}
+
+func BenchmarkE01KCliqueSequentialNP(b *testing.B) {
+	g := graph.Gnp(8, 0.7, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := cliques.CountNesetrilPoljak(g, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: Theorem 2/13, (6,2)-form circuits -----------------------------------
+
+func benchForm(b *testing.B, n int) *cliques.Form {
+	b.Helper()
+	g := graph.Gnp(n, 0.7, 2)
+	sm, err := cliques.BuildSubsetMatrix(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := ff.Must(1048583)
+	chi, err := matrix.FromSlice(f, sm.N, sm.N, sm.Entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	form, err := cliques.NewUniformForm(f, chi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return form
+}
+
+func BenchmarkE02SixTwoForm(b *testing.B) {
+	form := benchForm(b, 8)
+	dc, _ := tensor.Strassen().ForSize(8)
+	b.Run("nesetril-poljak-N4space", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = form.EvalNesetrilPoljak()
+		}
+	})
+	b.Run("theorem13-parts-N2space", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := form.EvalParts(dc, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E3: Theorem 3, Camelot triangles ----------------------------------------
+
+func BenchmarkE03TrianglesCamelot(b *testing.B) {
+	for _, sz := range []struct {
+		n int
+		p float64
+	}{{32, 0.15}, {32, 0.45}} {
+		b.Run(fmt.Sprintf("n=%d/m~%.0f", sz.n, sz.p*float64(sz.n*(sz.n-1))/2), func(b *testing.B) {
+			g := graph.Gnp(sz.n, sz.p, 7)
+			p, err := triangles.NewProblem(g, tensor.Strassen())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := runFull(b, p, core.Options{Nodes: 4, Seed: 2, DecodingNodes: 1})
+			b.ReportMetric(float64(p.NumParts()), "proof-parts")
+			b.ReportMetric(float64(rep.Degree), "degree")
+		})
+	}
+}
+
+// --- E4: Theorem 4, split/sparse counting ------------------------------------
+
+func BenchmarkE04TrianglesSplitSparse(b *testing.B) {
+	g := graph.Gnp(96, 8.0/96, 3)
+	b.Run("split-sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := triangles.CountSplitSparse(g, tensor.Strassen(), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("itai-rodeh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := triangles.CountItaiRodeh(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E5: Theorem 5, AYZ bound --------------------------------------------------
+
+func BenchmarkE05TrianglesAYZ(b *testing.B) {
+	g := graph.Gnp(256, 6.0/256, 5)
+	b.Run("ayz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := triangles.CountAYZ(g, tensor.Strassen(), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("itai-rodeh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := triangles.CountItaiRodeh(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E6: Theorem 6, chromatic polynomial --------------------------------------
+
+func BenchmarkE06Chromatic(b *testing.B) {
+	g := graph.Gnp(10, 0.4, 10)
+	b.Run("camelot-2^{n/2}", func(b *testing.B) {
+		p, err := chromatic.NewProblem(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := runFull(b, p, core.Options{Nodes: 4, Seed: 1, DecodingNodes: 1})
+		b.ReportMetric(float64(rep.ProofSymbols), "proof-symbols")
+	})
+	b.Run("deletion-contraction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = chromatic.DeletionContraction(g)
+		}
+	})
+}
+
+// --- E7: Theorem 7, Tutte polynomial -------------------------------------------
+
+func BenchmarkE07Tutte(b *testing.B) {
+	mg := graph.RandomMultigraph(6, 8, 6)
+	b.Run("camelot-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tutte.Compute(context.Background(), mg, core.Options{Nodes: 2, Seed: 2, DecodingNodes: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deletion-contraction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tutte.DeletionContraction(mg)
+		}
+	})
+}
+
+// --- E8: Theorem 8, #CNFSAT / permanent / Hamilton -----------------------------
+
+func BenchmarkE08CNFSAT(b *testing.B) {
+	f := cnfsat.RandomFormula(14, 21, 3, 14)
+	b.Run("camelot-2^{v/2}", func(b *testing.B) {
+		p, err := cnfsat.NewProblem(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runFull(b, p, core.Options{Nodes: 4, Seed: 3, DecodingNodes: 1})
+	})
+	b.Run("brute-2^v", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = cnfsat.CountBrute(f)
+		}
+	})
+}
+
+func BenchmarkE08Permanent(b *testing.B) {
+	a := make([][]int64, 12)
+	for i := range a {
+		a[i] = make([]int64, 12)
+		for j := range a[i] {
+			a[i][j] = int64((i*j + i + j) % 3)
+		}
+	}
+	b.Run("camelot-2^{n/2}", func(b *testing.B) {
+		p, err := permanent.NewProblem(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runFull(b, p, core.Options{Nodes: 4, Seed: 4, DecodingNodes: 1})
+	})
+	b.Run("ryser-2^n", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = permanent.Ryser(a)
+		}
+	})
+}
+
+func BenchmarkE08Hamilton(b *testing.B) {
+	g := graph.Gnp(9, 0.6, 9)
+	b.Run("camelot-2^{n/2}", func(b *testing.B) {
+		p, err := hamilton.NewProblem(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runFull(b, p, core.Options{Nodes: 4, Seed: 5, DecodingNodes: 1})
+	})
+	b.Run("held-karp-2^n", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = hamilton.CountDP(g)
+		}
+	})
+}
+
+// --- E9: Theorems 9/10, set covers ----------------------------------------------
+
+func BenchmarkE09SetCover(b *testing.B) {
+	fam := []uint64{}
+	full := uint64(1)<<10 - 1
+	for i := uint64(1); len(fam) < 20; i += 37 {
+		x := (i * i * 2654435761) & full
+		if x != 0 {
+			fam = append(fam, x)
+		}
+	}
+	b.Run("camelot-covers", func(b *testing.B) {
+		p, err := setcover.NewCoverProblem(fam, 10, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runFull(b, p, core.Options{Nodes: 4, Seed: 6, DecodingNodes: 1})
+	})
+	b.Run("sequential-IE-2^n", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = setcover.CountCoversIE(fam, 10, 3)
+		}
+	})
+}
+
+// --- E10: Theorem 11, near-linear problems ---------------------------------------
+
+func BenchmarkE10OV(b *testing.B) {
+	const n, t = 128, 12
+	am, _ := orthvec.NewBoolMatrix(n, t, RandomBoolMatrix(n, t, 0.3, 1))
+	bm, _ := orthvec.NewBoolMatrix(n, t, RandomBoolMatrix(n, t, 0.3, 2))
+	b.Run("camelot", func(b *testing.B) {
+		p, err := orthvec.NewOVProblem(am, bm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runFull(b, p, core.Options{Nodes: 4, Seed: 7, DecodingNodes: 1})
+	})
+	b.Run("naive-n^2t", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = orthvec.CountOrthogonalNaive(am, bm)
+		}
+	})
+}
+
+func BenchmarkE10Hamming(b *testing.B) {
+	const n, t = 24, 6
+	am, _ := orthvec.NewBoolMatrix(n, t, RandomBoolMatrix(n, t, 0.5, 3))
+	bm, _ := orthvec.NewBoolMatrix(n, t, RandomBoolMatrix(n, t, 0.5, 4))
+	p, err := orthvec.NewHammingProblem(am, bm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runFull(b, p, core.Options{Nodes: 4, Seed: 8, DecodingNodes: 1})
+}
+
+func BenchmarkE10Conv3SUM(b *testing.B) {
+	arr := make([]uint64, 32)
+	for i := range arr {
+		arr[i] = uint64(i + 1)
+	}
+	p, err := conv3sum.NewProblem(arr, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runFull(b, p, core.Options{Nodes: 4, Seed: 9, DecodingNodes: 1})
+}
+
+// --- E11: Theorem 12, 2-CSP --------------------------------------------------------
+
+func BenchmarkE11CSP(b *testing.B) {
+	sys := csp.RandomSystem(12, 2, 8, 0.5, 11)
+	p, err := csp.NewProblem(sys, tensor.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := runFull(b, p, core.Options{Nodes: 4, Seed: 10, DecodingNodes: 1})
+	b.ReportMetric(float64(rep.ProofSymbols), "proof-symbols")
+}
+
+// --- E12: framework robustness and verification -----------------------------------
+
+func BenchmarkE12Robustness(b *testing.B) {
+	g := graph.Gnp(24, 0.3, 9)
+	p, err := triangles.NewProblem(g, tensor.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := p.Degree()
+	const k = 8
+	f := 0
+	for {
+		e := d + 1 + 2*f
+		if f >= (e+k-1)/k {
+			break
+		}
+		f++
+	}
+	runFull(b, p, core.Options{
+		Nodes: k, FaultTolerance: f, Adversary: core.NewEquivocatingNodes(1, 3),
+		Seed: 1, DecodingNodes: 1,
+	})
+}
+
+func BenchmarkE12Verify(b *testing.B) {
+	// Verification must cost about one node's single evaluation.
+	g := graph.Gnp(24, 0.3, 9)
+	p, err := triangles.NewProblem(g, tensor.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	proof, _, err := core.Run(context.Background(), p, core.Options{Seed: 2, DecodingNodes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := core.VerifyProof(p, proof, 1, int64(i))
+		if err != nil || !ok {
+			b.Fatalf("verify: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkE12GaoDecode(b *testing.B) {
+	// The per-node decode cost: e=2048 codeword with 200 corruptions.
+	q, _, err := ff.NTTPrime(1<<20, 1<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ring := poly.NewRing(ff.Must(q))
+	code, err := rs.New(ring, rs.ConsecutivePoints(2048), 1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]uint64, 1501)
+	for i := range msg {
+		msg[i] = uint64(i) * 31 % q
+	}
+	cw, err := code.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := make([]uint64, len(cw))
+	copy(rx, cw)
+	for i := 0; i < 200; i++ {
+		rx[i*10] = (rx[i*10] + 7) % q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := code.Decode(rx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: K-node tradeoff ------------------------------------------------------------
+
+func BenchmarkE13Tradeoff(b *testing.B) {
+	g := graph.Gnp(8, 0.7, 11)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			p, err := cliques.NewProblem(g, 6, tensor.Strassen())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := runFull(b, p, core.Options{Nodes: k, Seed: 6, DecodingNodes: 1})
+			b.ReportMetric(float64(rep.MaxNodeCompute.Microseconds())/1000, "pernode-ms")
+			b.ReportMetric(float64(rep.CodeLength)/float64(k), "points-per-node")
+		})
+	}
+}

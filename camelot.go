@@ -1,0 +1,182 @@
+// Package camelot is a verifiable, byzantine-fault-tolerant distributed
+// batch-evaluation framework: a faithful implementation of "How Proofs
+// are Prepared at Camelot" (Björklund & Kaski, PODC 2016).
+//
+// A Camelot computation tasks K nodes with evaluating a problem-specific
+// proof polynomial P(x) mod q at e points. The evaluations form a
+// Reed–Solomon codeword, so every node can independently error-correct
+// the community's shares (identifying the failed nodes as a byproduct)
+// and any party can verify the decoded proof against the input with a
+// single random evaluation — soundness error at most deg(P)/q per trial.
+//
+// The package exposes one-call counting functions for every problem the
+// paper treats — k-cliques, triangles, the chromatic and Tutte
+// polynomials, #CNFSAT, permanents, Hamiltonian cycles, set covers and
+// partitions, orthogonal vectors, Hamming distance distributions,
+// Convolution3SUM, and 2-CSP enumeration — plus the raw framework
+// (RunProblem / VerifyProof) for custom proof polynomials.
+package camelot
+
+import (
+	"math/rand"
+
+	"camelot/internal/core"
+	"camelot/internal/graph"
+	"camelot/internal/tensor"
+)
+
+// Report summarizes a run: sizing (proof symbols, code length, primes),
+// timing (per-node and total compute), adversary damage (suspect nodes,
+// corrupted shares), and the verification outcome.
+type Report = core.Report
+
+// Proof is the static, independently verifiable artifact of a run.
+type Proof = core.Proof
+
+// Problem is the plug-in interface for custom Camelot proof systems; see
+// the core package documentation for the contract.
+type Problem = core.Problem
+
+// Adversary injects byzantine behaviour into a run's share traffic.
+type Adversary = core.Adversary
+
+// SilentNodes returns a crash-fault adversary: the listed nodes send
+// nothing.
+func SilentNodes(ids ...int) Adversary { return core.NewSilentNodes(ids...) }
+
+// LyingNodes returns a byzantine adversary whose listed nodes broadcast
+// deterministic garbage (the same garbage to every recipient).
+func LyingNodes(salt uint64, ids ...int) Adversary { return core.NewLyingNodes(salt, ids...) }
+
+// EquivocatingNodes returns a byzantine adversary whose listed nodes send
+// different garbage to different recipients.
+func EquivocatingNodes(salt uint64, ids ...int) Adversary {
+	return core.NewEquivocatingNodes(salt, ids...)
+}
+
+// config collects run options.
+type config struct {
+	opts core.Options
+	base tensor.Decomposition
+}
+
+func newConfig(opts []Option) config {
+	c := config{base: tensor.Strassen()}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Option configures a Camelot run.
+type Option func(*config)
+
+// WithNodes sets the number of compute nodes K (default 1).
+func WithNodes(k int) Option { return func(c *config) { c.opts.Nodes = k } }
+
+// WithFaultTolerance sets the number f of corrupted shares the run
+// survives; the codeword is lengthened to e = d+1+2f.
+func WithFaultTolerance(f int) Option { return func(c *config) { c.opts.FaultTolerance = f } }
+
+// WithAdversary injects byzantine behaviour (for experiments and tests).
+func WithAdversary(a Adversary) Option { return func(c *config) { c.opts.Adversary = a } }
+
+// WithSeed seeds the verification randomness.
+func WithSeed(seed int64) Option { return func(c *config) { c.opts.Seed = seed } }
+
+// WithVerifyTrials sets the number of independent spot checks (each with
+// soundness error <= d/q; default 1).
+func WithVerifyTrials(trials int) Option { return func(c *config) { c.opts.VerifyTrials = trials } }
+
+// WithDecodingNodes caps how many honest nodes run the full decoder
+// (0 = all, the paper's model).
+func WithDecodingNodes(k int) Option { return func(c *config) { c.opts.DecodingNodes = k } }
+
+// WithStrassenTensor selects the rank-7 ⟨2,2,2⟩ decomposition
+// (ω = log2 7) for the matrix-multiplication-based designs. The default.
+func WithStrassenTensor() Option { return func(c *config) { c.base = tensor.Strassen() } }
+
+// WithTrivialTensor selects the rank-b³ classical decomposition (ω = 3)
+// with base size b for the matrix-multiplication-based designs.
+func WithTrivialTensor(b int) Option { return func(c *config) { c.base = tensor.Trivial(b) } }
+
+// --- Public input types -------------------------------------------------------
+
+// Graph is a simple undirected graph on vertices 0..n-1.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return &Graph{g: graph.New(n)} }
+
+// AddEdge inserts the undirected edge {u, v}; loops and duplicates are
+// ignored.
+func (g *Graph) AddEdge(u, v int) { g.g.AddEdge(u, v) }
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the edge count.
+func (g *Graph) M() int { return g.g.M() }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.g.HasEdge(u, v) }
+
+// RandomGraph returns an Erdős–Rényi G(n, p) graph.
+func RandomGraph(n int, p float64, seed int64) *Graph {
+	return &Graph{g: graph.Gnp(n, p, seed)}
+}
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) *Graph { return &Graph{g: graph.Complete(n)} }
+
+// CycleGraph returns C_n.
+func CycleGraph(n int) *Graph { return &Graph{g: graph.Cycle(n)} }
+
+// PetersenGraph returns the Petersen graph.
+func PetersenGraph() *Graph { return &Graph{g: graph.Petersen()} }
+
+// PlantCliques returns a sparse random graph with cnt planted k-cliques.
+func PlantCliques(n int, p float64, k, cnt int, seed int64) *Graph {
+	return &Graph{g: graph.PlantCliques(n, p, k, cnt, seed)}
+}
+
+// Multigraph is an undirected multigraph (loops and parallel edges
+// allowed), the Tutte polynomial's natural domain.
+type Multigraph struct {
+	mg *graph.Multigraph
+}
+
+// NewMultigraph returns an edgeless multigraph on n vertices.
+func NewMultigraph(n int) *Multigraph { return &Multigraph{mg: graph.NewMultigraph(n)} }
+
+// AddEdge appends an edge; u == v inserts a loop.
+func (m *Multigraph) AddEdge(u, v int) { m.mg.AddEdge(u, v) }
+
+// N returns the vertex count.
+func (m *Multigraph) N() int { return m.mg.N() }
+
+// M returns the edge count with multiplicity.
+func (m *Multigraph) M() int { return m.mg.M() }
+
+// FromGraph converts a simple graph.
+func FromGraph(g *Graph) *Multigraph { return &Multigraph{mg: graph.FromGraph(g.g)} }
+
+// RandomMultigraph draws m edges uniformly with replacement.
+func RandomMultigraph(n, m int, seed int64) *Multigraph {
+	return &Multigraph{mg: graph.RandomMultigraph(n, m, seed)}
+}
+
+// randomBits fills a Boolean matrix deterministically; shared by the
+// vector-problem constructors.
+func randomBits(n, t int, density float64, seed int64) []uint8 {
+	rng := rand.New(rand.NewSource(seed))
+	bits := make([]uint8, n*t)
+	for i := range bits {
+		if rng.Float64() < density {
+			bits[i] = 1
+		}
+	}
+	return bits
+}

@@ -1,0 +1,339 @@
+// Command camelot runs Camelot computations from the command line: pick a
+// problem subcommand, a workload size, a node count, and optionally a
+// byzantine adversary, and it prepares, error-corrects, and verifies the
+// proof, printing the framework report.
+//
+// Usage:
+//
+//	camelot cliques   -n 10 -k 6 -nodes 8 -faults 200 -lie 2
+//	camelot triangles -n 48 -p 0.2 -nodes 4
+//	camelot chromatic -n 10 -p 0.4
+//	camelot tutte     -n 6 -edges 8
+//	camelot cnfsat    -vars 12 -clauses 20
+//	camelot permanent -n 10
+//	camelot hamilton  -n 9 -p 0.5
+//	camelot setcover  -n 10 -sets 30 -t 4
+//	camelot ov        -n 128 -t 16
+//	camelot conv3sum  -n 64 -bits 10
+//	camelot csp       -n 12 -sigma 2 -m 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"camelot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "camelot: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// commonFlags holds the framework options shared by every subcommand.
+type commonFlags struct {
+	nodes, faults, trials int
+	seed                  int64
+	lie, silence, equiv   string
+}
+
+func (cf *commonFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&cf.nodes, "nodes", 4, "number of compute nodes K")
+	fs.IntVar(&cf.faults, "faults", 0, "fault tolerance f (codeword length e = d+1+2f)")
+	fs.IntVar(&cf.trials, "trials", 2, "verification trials")
+	fs.Int64Var(&cf.seed, "seed", 1, "randomness seed")
+	fs.StringVar(&cf.lie, "lie", "", "comma-separated node ids that broadcast garbage")
+	fs.StringVar(&cf.silence, "silence", "", "comma-separated node ids that crash")
+	fs.StringVar(&cf.equiv, "equivocate", "", "comma-separated node ids that equivocate")
+}
+
+func (cf *commonFlags) options() ([]camelot.Option, error) {
+	opts := []camelot.Option{
+		camelot.WithNodes(cf.nodes),
+		camelot.WithFaultTolerance(cf.faults),
+		camelot.WithSeed(cf.seed),
+		camelot.WithVerifyTrials(cf.trials),
+	}
+	parse := func(s string) ([]int, error) {
+		if s == "" {
+			return nil, nil
+		}
+		parts := strings.Split(s, ",")
+		ids := make([]int, 0, len(parts))
+		for _, p := range parts {
+			id, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad node id %q", p)
+			}
+			ids = append(ids, id)
+		}
+		return ids, nil
+	}
+	if ids, err := parse(cf.lie); err != nil {
+		return nil, err
+	} else if len(ids) > 0 {
+		opts = append(opts, camelot.WithAdversary(camelot.LyingNodes(uint64(cf.seed), ids...)))
+	}
+	if ids, err := parse(cf.silence); err != nil {
+		return nil, err
+	} else if len(ids) > 0 {
+		opts = append(opts, camelot.WithAdversary(camelot.SilentNodes(ids...)))
+	}
+	if ids, err := parse(cf.equiv); err != nil {
+		return nil, err
+	} else if len(ids) > 0 {
+		opts = append(opts, camelot.WithAdversary(camelot.EquivocatingNodes(uint64(cf.seed), ids...)))
+	}
+	return opts, nil
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: camelot <cliques|triangles|chromatic|tutte|cnfsat|permanent|hamilton|setcover|ov|conv3sum|csp> [flags]")
+	}
+	ctx := context.Background()
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+
+	switch sub {
+	case "cliques":
+		n := fs.Int("n", 9, "vertices")
+		k := fs.Int("k", 6, "clique size (multiple of 6)")
+		p := fs.Float64("p", 0.6, "edge probability")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		g := camelot.RandomGraph(*n, *p, cf.seed)
+		count, rep, err := camelot.CountCliques(ctx, g, *k, opts...)
+		return report(fmt.Sprintf("%d-cliques", *k), count, rep, err)
+
+	case "triangles":
+		n := fs.Int("n", 48, "vertices")
+		p := fs.Float64("p", 0.2, "edge probability")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		g := camelot.RandomGraph(*n, *p, cf.seed)
+		count, rep, err := camelot.CountTriangles(ctx, g, opts...)
+		return report("triangles", count, rep, err)
+
+	case "chromatic":
+		n := fs.Int("n", 10, "vertices")
+		p := fs.Float64("p", 0.4, "edge probability")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		g := camelot.RandomGraph(*n, *p, cf.seed)
+		coeffs, rep, err := camelot.ChromaticPolynomial(ctx, g, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("χ_G(t) coefficients (c_0..c_%d): %v\n", len(coeffs)-1, coeffs)
+		printReport(rep)
+		return nil
+
+	case "tutte":
+		n := fs.Int("n", 6, "vertices")
+		edges := fs.Int("edges", 8, "edge count (multigraph, drawn uniformly)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		mg := camelot.RandomMultigraph(*n, *edges, cf.seed)
+		start := time.Now()
+		res, err := camelot.TuttePolynomial(ctx, mg, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Tutte polynomial recovered in %v over %d Fortuin–Kasteleyn lines\n",
+			time.Since(start).Round(time.Millisecond), len(res.Reports))
+		fmt.Printf("  spanning trees T(1,1) = %v\n", camelot.EvalTutte(res.T, 1, 1))
+		fmt.Printf("  forests        T(2,1) = %v\n", camelot.EvalTutte(res.T, 2, 1))
+		fmt.Printf("  2^m check      T(2,2) = %v\n", camelot.EvalTutte(res.T, 2, 2))
+		printReport(res.Reports[0])
+		return nil
+
+	case "cnfsat":
+		vars := fs.Int("vars", 12, "variables")
+		clauses := fs.Int("clauses", 20, "clauses")
+		width := fs.Int("width", 3, "literals per clause")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		f := randomCNF(*vars, *clauses, *width, cf.seed)
+		count, rep, err := camelot.CountCNFSolutions(ctx, f, opts...)
+		return report("#SAT", count, rep, err)
+
+	case "permanent":
+		n := fs.Int("n", 10, "matrix dimension")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		a := randomMatrix(*n, cf.seed)
+		per, rep, err := camelot.Permanent(ctx, a, opts...)
+		return report("permanent", per, rep, err)
+
+	case "hamilton":
+		n := fs.Int("n", 9, "vertices")
+		p := fs.Float64("p", 0.5, "edge probability")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		g := camelot.RandomGraph(*n, *p, cf.seed)
+		count, rep, err := camelot.CountHamiltonianCycles(ctx, g, opts...)
+		return report("hamiltonian cycles", count, rep, err)
+
+	case "setcover":
+		n := fs.Int("n", 10, "universe size")
+		sets := fs.Int("sets", 30, "family size")
+		t := fs.Int("t", 4, "cover size")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		fam := randomFamily(*n, *sets, cf.seed)
+		count, rep, err := camelot.CountSetCovers(ctx, fam, *n, *t, opts...)
+		return report(fmt.Sprintf("%d-covers", *t), count, rep, err)
+
+	case "ov":
+		n := fs.Int("n", 128, "vectors per side")
+		t := fs.Int("t", 16, "dimension")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		a := camelot.RandomBoolMatrix(*n, *t, 0.3, cf.seed)
+		b := camelot.RandomBoolMatrix(*n, *t, 0.3, cf.seed+1)
+		counts, rep, err := camelot.CountOrthogonalPairs(ctx, *n, *t, a, b, opts...)
+		if err != nil {
+			return err
+		}
+		total := int64(0)
+		for _, c := range counts {
+			total += c
+		}
+		fmt.Printf("orthogonal pairs: %d\n", total)
+		printReport(rep)
+		return nil
+
+	case "conv3sum":
+		n := fs.Int("n", 64, "array length (even)")
+		bits := fs.Int("bits", 10, "integer bit width")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		a := randomArray(*n, *bits, cf.seed)
+		counts, rep, err := camelot.Convolution3SUM(ctx, a, *bits, opts...)
+		if err != nil {
+			return err
+		}
+		total := int64(0)
+		for _, c := range counts {
+			total += c
+		}
+		fmt.Printf("convolution-3SUM solutions: %d\n", total)
+		printReport(rep)
+		return nil
+
+	case "csp":
+		n := fs.Int("n", 12, "variables (multiple of 6)")
+		sigma := fs.Int("sigma", 2, "alphabet size")
+		m := fs.Int("m", 8, "constraints")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		opts, err := cf.options()
+		if err != nil {
+			return err
+		}
+		sys := randomCSP(*n, *sigma, *m, cf.seed)
+		dist, rep, err := camelot.CSPDistribution(ctx, sys, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Println("assignments by satisfied-constraint count:")
+		for k, v := range dist {
+			if v.Sign() != 0 {
+				fmt.Printf("  %2d satisfied: %v\n", k, v)
+			}
+		}
+		printReport(rep)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+func report(label string, count *big.Int, rep *camelot.Report, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %v\n", label, count)
+	printReport(rep)
+	return nil
+}
+
+func printReport(rep *camelot.Report) {
+	fmt.Printf("  problem        %s\n", rep.Problem)
+	fmt.Printf("  nodes          %d (byzantine: %v, identified: %v)\n",
+		rep.Nodes, rep.ByzantineNodes, rep.SuspectNodes)
+	fmt.Printf("  proof          degree %d, %d symbols over primes %v\n",
+		rep.Degree, rep.ProofSymbols, rep.Primes)
+	fmt.Printf("  codeword       %d points, tolerance %d, corrupted shares seen %d\n",
+		rep.CodeLength, rep.FaultTolerance, rep.CorruptedShares)
+	fmt.Printf("  compute        wall %v, max/node %v, total %v\n",
+		rep.ComputeWall.Round(time.Microsecond),
+		rep.MaxNodeCompute.Round(time.Microsecond),
+		rep.TotalNodeCompute.Round(time.Microsecond))
+	fmt.Printf("  decode         wall %v\n", rep.DecodeWall.Round(time.Microsecond))
+	fmt.Printf("  verification   %d trial(s), %v each, accepted=%v\n",
+		rep.VerifyTrials, rep.VerifyPerTrial.Round(time.Microsecond), rep.Verified)
+}

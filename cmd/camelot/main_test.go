@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunSubcommands(t *testing.T) {
+	cases := map[string][]string{
+		"triangles":  {"triangles", "-n", "20", "-p", "0.3", "-nodes", "2", "-trials", "1"},
+		"cliques":    {"cliques", "-n", "7", "-k", "6", "-p", "0.8", "-nodes", "2"},
+		"chromatic":  {"chromatic", "-n", "7", "-p", "0.4", "-nodes", "2"},
+		"tutte":      {"tutte", "-n", "5", "-edges", "6"},
+		"cnfsat":     {"cnfsat", "-vars", "8", "-clauses", "10"},
+		"permanent":  {"permanent", "-n", "6"},
+		"hamilton":   {"hamilton", "-n", "7", "-p", "0.6"},
+		"setcover":   {"setcover", "-n", "8", "-sets", "10", "-t", "3"},
+		"ov":         {"ov", "-n", "32", "-t", "8"},
+		"conv3sum":   {"conv3sum", "-n", "16", "-bits", "6"},
+		"csp":        {"csp", "-n", "6", "-sigma", "2", "-m", "4"},
+		"with-liar":  {"triangles", "-n", "16", "-p", "0.3", "-nodes", "4", "-faults", "40", "-lie", "1"},
+		"with-crash": {"triangles", "-n", "16", "-p", "0.3", "-nodes", "4", "-faults", "40", "-silence", "2"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"no args":        nil,
+		"unknown":        {"frobnicate"},
+		"bad lie list":   {"triangles", "-lie", "x,y"},
+		"bad clique k":   {"cliques", "-k", "5"},
+		"beyond radius":  {"triangles", "-n", "16", "-p", "0.3", "-nodes", "2", "-faults", "0", "-lie", "0"},
+		"all byzantine":  {"triangles", "-n", "12", "-nodes", "1", "-lie", "0"},
+		"oversized csp":  {"csp", "-n", "5"},
+		"tiny permanent": {"permanent", "-n", "1"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}

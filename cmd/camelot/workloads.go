@@ -1,0 +1,81 @@
+package main
+
+import (
+	"math/rand"
+
+	"camelot"
+)
+
+// randomCNF draws a uniform width-w CNF.
+func randomCNF(vars, clauses, width int, seed int64) *camelot.CNFFormula {
+	rng := rand.New(rand.NewSource(seed))
+	f := &camelot.CNFFormula{V: vars, Clauses: make([][]int, clauses)}
+	for j := range f.Clauses {
+		cl := make([]int, width)
+		for i := range cl {
+			lit := rng.Intn(vars) + 1
+			if rng.Intn(2) == 1 {
+				lit = -lit
+			}
+			cl[i] = lit
+		}
+		f.Clauses[j] = cl
+	}
+	return f
+}
+
+// randomMatrix draws an n×n matrix with entries in [0, 3].
+func randomMatrix(n int, seed int64) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([][]int64, n)
+	for i := range a {
+		a[i] = make([]int64, n)
+		for j := range a[i] {
+			a[i][j] = rng.Int63n(4)
+		}
+	}
+	return a
+}
+
+// randomFamily draws nonempty subsets of [n].
+func randomFamily(n, size int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	full := uint64(1)<<uint(n) - 1
+	fam := make([]uint64, 0, size)
+	for len(fam) < size {
+		x := rng.Uint64() & full
+		if x != 0 {
+			fam = append(fam, x)
+		}
+	}
+	return fam
+}
+
+// randomArray draws n values of the given bit width.
+func randomArray(n, bits int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % (1 << uint(bits))
+	}
+	return a
+}
+
+// randomCSP draws m random binary constraints with density 1/2.
+func randomCSP(n, sigma, m int, seed int64) *camelot.CSPSystem {
+	rng := rand.New(rand.NewSource(seed))
+	sys := &camelot.CSPSystem{N: n, Sigma: sigma, Constraints: make([]camelot.CSPConstraint, m)}
+	for i := range sys.Constraints {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		for v == u {
+			v = rng.Intn(n)
+		}
+		table := make([]bool, sigma*sigma)
+		for j := range table {
+			table[j] = rng.Intn(2) == 1
+		}
+		sys.Constraints[i] = camelot.CSPConstraint{U: u, V: v, Allowed: table}
+	}
+	return sys
+}

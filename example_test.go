@@ -1,0 +1,58 @@
+package camelot_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"camelot"
+)
+
+// ExampleCountTriangles prepares, error-corrects, and verifies a
+// triangle count over a 3-node community.
+func ExampleCountTriangles() {
+	g := camelot.CompleteGraph(6) // C(6,3) = 20 triangles
+	count, report, err := camelot.CountTriangles(context.Background(), g,
+		camelot.WithNodes(3), camelot.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("triangles:", count)
+	fmt.Println("verified:", report.Verified)
+	// Output:
+	// triangles: 20
+	// verified: true
+}
+
+// ExampleCountCliques survives a lying node: the adversary corrupts a
+// whole node block, the decoders fix it and name the culprit.
+func ExampleCountCliques() {
+	g := camelot.CompleteGraph(8)
+	count, report, err := camelot.CountCliques(context.Background(), g, 6,
+		camelot.WithNodes(8),
+		camelot.WithFaultTolerance(200), // covers one node's ~179 shares
+		camelot.WithAdversary(camelot.LyingNodes(7, 3)),
+		camelot.WithSeed(2),
+		camelot.WithDecodingNodes(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("six-cliques:", count)
+	fmt.Println("suspects:", report.SuspectNodes)
+	// Output:
+	// six-cliques: 28
+	// suspects: [3]
+}
+
+// ExampleChromaticPolynomial recovers exact integer coefficients.
+func ExampleChromaticPolynomial() {
+	coeffs, _, err := camelot.ChromaticPolynomial(context.Background(), camelot.CycleGraph(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// χ_{C4}(t) = t^4 - 4t^3 + 6t^2 - 3t
+	fmt.Println(coeffs)
+	// Output:
+	// [0 -3 6 -4 1]
+}

@@ -1,0 +1,31 @@
+// Tradeoff: the paper's §1.4 smooth speedup curve. A fixed 6-clique
+// instance is solved by communities of growing size; per-node work falls
+// as 1/K (the evaluations are intrinsically workload-balanced) while the
+// total stays within a constant of the sequential algorithm.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"camelot"
+)
+
+func main() {
+	g := camelot.RandomGraph(8, 0.7, 11)
+	fmt.Println("counting 6-cliques; sweeping the Round Table size K:")
+	fmt.Printf("%4s %10s %14s %16s %14s\n", "K", "points", "points/node", "per-node time", "total time")
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		count, rep, err := camelot.CountCliques(context.Background(), g, 6,
+			camelot.WithNodes(k), camelot.WithSeed(3), camelot.WithDecodingNodes(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %10d %14d %16v %14v   (count=%v)\n",
+			rep.Nodes, rep.CodeLength, (rep.CodeLength+rep.Nodes-1)/rep.Nodes,
+			rep.MaxNodeCompute.Round(1000), rep.TotalNodeCompute.Round(1000), count)
+	}
+	fmt.Println("\nper-node work falls ~1/K until K reaches the proof size (paper §1.4);")
+	fmt.Println("wall-clock gains saturate at the host's physical core count.")
+}

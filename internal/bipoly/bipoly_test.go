@@ -1,0 +1,163 @@
+package bipoly
+
+import (
+	"math/rand"
+	"testing"
+
+	"camelot/internal/ff"
+)
+
+var testField = ff.Must(1000003)
+
+func TestMonomialAndCoeff(t *testing.T) {
+	r := NewRing(testField, 3, 2)
+	p := r.Monomial(2, 1, 7)
+	if got := r.Coeff(p, 2, 1); got != 7 {
+		t.Fatalf("coeff = %d", got)
+	}
+	if got := r.Coeff(p, 1, 1); got != 0 {
+		t.Fatalf("spurious coeff %d", got)
+	}
+	// Monomials beyond the truncation vanish.
+	if p := r.Monomial(4, 0, 5); !p.IsZero() {
+		t.Fatal("over-degree monomial must be zero")
+	}
+	// Out-of-range Coeff reads are zero, not panics.
+	if got := r.Coeff(p, 9, 9); got != 0 {
+		t.Fatal("out-of-range coeff must read 0")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	r := NewRing(testField, 2, 2)
+	a := r.Monomial(1, 1, 10)
+	b := r.Monomial(1, 1, 5)
+	if got := r.Coeff(r.Add(a, b), 1, 1); got != 15 {
+		t.Fatalf("add = %d", got)
+	}
+	if got := r.Coeff(r.Sub(a, b), 1, 1); got != 5 {
+		t.Fatalf("sub = %d", got)
+	}
+	if got := r.Sub(b, a); r.Coeff(got, 1, 1) != testField.Q-5 {
+		t.Fatalf("negative sub = %d", r.Coeff(got, 1, 1))
+	}
+	// Zero identities.
+	if !r.Equal(r.Add(a, r.Zero()), a) {
+		t.Fatal("a + 0 != a")
+	}
+	if !r.Equal(r.Sub(r.Zero(), r.Zero()), r.Zero()) {
+		t.Fatal("0 - 0 != 0")
+	}
+}
+
+func TestMulTruncates(t *testing.T) {
+	r := NewRing(testField, 2, 1)
+	// (wE + wB)^2 = wE^2 + 2 wE wB + wB^2; wB^2 truncated away.
+	p := r.Add(r.Monomial(1, 0, 1), r.Monomial(0, 1, 1))
+	sq := r.Mul(p, p)
+	if r.Coeff(sq, 2, 0) != 1 || r.Coeff(sq, 1, 1) != 2 {
+		t.Fatalf("square wrong: %v", sq.C)
+	}
+	if r.Coeff(sq, 0, 1) != 0 {
+		t.Fatal("wB^2 must truncate to nothing, not alias")
+	}
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	r := NewRing(testField, 4, 3)
+	rng := rand.New(rand.NewSource(1))
+	randPoly := func() Poly {
+		p := r.alloc()
+		for i := range p.C {
+			p.C[i] = rng.Uint64() % testField.Q
+		}
+		return p
+	}
+	for trial := 0; trial < 20; trial++ {
+		a, b := randPoly(), randPoly()
+		got := r.Mul(a, b)
+		// Reference: quadruple loop with truncation.
+		want := r.alloc()
+		for i := 0; i <= 4; i++ {
+			for j := 0; j <= 3; j++ {
+				for k := 0; i+k <= 4; k++ {
+					for l := 0; j+l <= 3; l++ {
+						c := testField.Mul(r.Coeff(a, i, j), r.Coeff(b, k, l))
+						idx := (i+k)*4 + j + l
+						want.C[idx] = testField.Add(want.C[idx], c)
+					}
+				}
+			}
+		}
+		if !r.Equal(got, want) {
+			t.Fatalf("trial %d: product mismatch", trial)
+		}
+	}
+}
+
+func TestMulCommutesAndDistributes(t *testing.T) {
+	r := NewRing(testField, 3, 3)
+	rng := rand.New(rand.NewSource(2))
+	randPoly := func() Poly {
+		p := r.alloc()
+		for i := range p.C {
+			p.C[i] = rng.Uint64() % testField.Q
+		}
+		return p
+	}
+	for trial := 0; trial < 10; trial++ {
+		a, b, c := randPoly(), randPoly(), randPoly()
+		if !r.Equal(r.Mul(a, b), r.Mul(b, a)) {
+			t.Fatal("not commutative")
+		}
+		lhs := r.Mul(a, r.Add(b, c))
+		rhs := r.Add(r.Mul(a, b), r.Mul(a, c))
+		if !r.Equal(lhs, rhs) {
+			t.Fatal("not distributive")
+		}
+	}
+}
+
+func TestMulMonomialAgainstMul(t *testing.T) {
+	r := NewRing(testField, 3, 3)
+	rng := rand.New(rand.NewSource(3))
+	p := r.alloc()
+	for i := range p.C {
+		p.C[i] = rng.Uint64() % testField.Q
+	}
+	for i := 0; i <= 3; i++ {
+		for j := 0; j <= 3; j++ {
+			want := r.Mul(p, r.Monomial(i, j, 42))
+			got := r.MulMonomial(p, i, j, 42)
+			if !r.Equal(got, want) {
+				t.Fatalf("MulMonomial(%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	r := NewRing(testField, 1, 1)
+	a := r.Zero()
+	a = r.AddInPlace(a, r.Monomial(1, 0, 3))
+	a = r.AddInPlace(a, r.Monomial(1, 0, 4))
+	if got := r.Coeff(a, 1, 0); got != 7 {
+		t.Fatalf("AddInPlace = %d", got)
+	}
+	// Adding zero leaves the receiver untouched.
+	b := r.AddInPlace(a, r.Zero())
+	if !r.Equal(a, b) {
+		t.Fatal("a + 0 != a")
+	}
+}
+
+func TestScale(t *testing.T) {
+	r := NewRing(testField, 1, 1)
+	p := r.Monomial(1, 1, 3)
+	if got := r.Coeff(r.Scale(p, 5), 1, 1); got != 15 {
+		t.Fatalf("scale = %d", got)
+	}
+	if !r.Scale(p, 0).IsZero() {
+		t.Fatal("0·p must be zero")
+	}
+}

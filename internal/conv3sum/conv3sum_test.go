@@ -1,0 +1,155 @@
+package conv3sum
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"camelot/internal/core"
+	"camelot/internal/ff"
+)
+
+func TestCountNaiveKnown(t *testing.T) {
+	// A = [1, 2, 3, 4, 5, 6]: A[i]+A[l] = A[i+l] means i + l = i+l always
+	// (identity array): every (i, l) pair works: c_i = 3 for i = 1..3.
+	a := []uint64{1, 2, 3, 4, 5, 6}
+	got := CountNaive(a)
+	for i, c := range got {
+		if c != 3 {
+			t.Fatalf("c_%d = %d, want 3", i+1, c)
+		}
+	}
+}
+
+func TestCamelotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ n, t int }{{6, 4}, {8, 5}, {10, 6}}
+	for _, c := range cases {
+		a := make([]uint64, c.n)
+		for i := range a {
+			a[i] = rng.Uint64() % (1 << uint(c.t))
+		}
+		// Plant some solutions: A[1]+A[2] = A[3], A[2]+A[2] = A[4].
+		a[2] = (a[0] + a[1]) % (1 << uint(c.t))
+		if a[0]+a[1] >= 1<<uint(c.t) {
+			a[2] = a[0] + a[1] - (1 << uint(c.t)) // keep t-bit; may break the plant, fine
+			if a[0]+a[1] < 1<<uint(c.t) {
+				a[2] = a[0] + a[1]
+			}
+		}
+		p, err := NewProblem(a, c.t+1) // +1 bit headroom so sums stay in range
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, rep, err := core.Run(context.Background(), p, core.Options{Nodes: 4, Seed: int64(c.n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Verified {
+			t.Fatal("not verified")
+		}
+		got, err := p.Counts(proof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CountNaive(a)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: c_%d = %d, want %d", c.n, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIdentityArrayAllSolutions(t *testing.T) {
+	a := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	p, err := NewProblem(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := core.Run(context.Background(), p, core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := p.TotalSolutions(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Int64() != 16 { // 4x4 pairs all work
+		t.Fatalf("total = %v, want 16", total)
+	}
+}
+
+func TestNoSolutions(t *testing.T) {
+	// Strictly huge values so no sums match.
+	a := []uint64{9, 9, 9, 9}
+	p, err := NewProblem(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := core.Run(context.Background(), p, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := p.TotalSolutions(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Sign() != 0 {
+		t.Fatalf("total = %v, want 0", total)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewProblem([]uint64{1, 2, 3}, 4); err == nil {
+		t.Fatal("odd length must be rejected")
+	}
+	if _, err := NewProblem([]uint64{1, 16}, 4); err == nil {
+		t.Fatal("out-of-width value must be rejected")
+	}
+	if _, err := NewProblem([]uint64{1}, 4); err == nil {
+		t.Fatal("too-short array must be rejected")
+	}
+}
+
+func TestRippleCarryAgainstIntegers(t *testing.T) {
+	// On Boolean inputs, T must be the exact adder indicator [y+z=w].
+	p, err := NewProblem([]uint64{1, 2, 3, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	f := fieldForTest(t)
+	const tBits = 3
+	for y := uint64(0); y < 1<<tBits; y++ {
+		for z := uint64(0); z < 1<<tBits; z++ {
+			for w := uint64(0); w < 1<<tBits; w++ {
+				yb := bits(y, tBits)
+				zb := bits(z, tBits)
+				wb := bits(w, tBits)
+				got := rippleCarryT(f, yb, zb, wb)
+				want := uint64(0)
+				if y+z == w {
+					want = 1
+				}
+				if got != want {
+					t.Fatalf("T(%d,%d,%d) = %d, want %d", y, z, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func bits(x uint64, t int) []uint64 {
+	out := make([]uint64, t)
+	for j := 0; j < t; j++ {
+		out[j] = (x >> uint(j)) & 1
+	}
+	return out
+}
+
+// fieldForTest returns a small field for unit-testing polynomial gadgets.
+func fieldForTest(t *testing.T) ff.Field {
+	t.Helper()
+	return ff.Must(1000003)
+}

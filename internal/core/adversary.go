@@ -1,0 +1,151 @@
+package core
+
+import "hash/fnv"
+
+// Adversary models Lady Morgana: it may tamper with shares in flight
+// from a byzantine sender to any recipient. Honest nodes' shares are
+// never touched. Implementations must be deterministic so runs are
+// reproducible.
+type Adversary interface {
+	// Transform returns the (possibly corrupted) value the recipient
+	// receives for the given share, and whether the share arrives at all
+	// (false = dropped/silent).
+	Transform(sender, recipient int, prime uint64, coord, point int, value uint64) (uint64, bool)
+	// CorruptNodes lists the byzantine node ids, for reporting.
+	CorruptNodes() []int
+}
+
+// NoAdversary delivers every share unmodified.
+type NoAdversary struct{}
+
+var _ Adversary = NoAdversary{}
+
+// Transform implements Adversary.
+func (NoAdversary) Transform(_, _ int, _ uint64, _, _ int, value uint64) (uint64, bool) {
+	return value, true
+}
+
+// CorruptNodes implements Adversary.
+func (NoAdversary) CorruptNodes() []int { return nil }
+
+// SilentNodes drops every share sent by the listed nodes — the crash
+// failure model.
+type SilentNodes struct {
+	// IDs are the crashed node identifiers.
+	IDs []int
+	set map[int]bool
+}
+
+var _ Adversary = (*SilentNodes)(nil)
+
+// NewSilentNodes returns an adversary that silences the given nodes.
+func NewSilentNodes(ids ...int) *SilentNodes {
+	s := &SilentNodes{IDs: ids, set: make(map[int]bool, len(ids))}
+	for _, id := range ids {
+		s.set[id] = true
+	}
+	return s
+}
+
+// Transform implements Adversary.
+func (s *SilentNodes) Transform(sender, _ int, _ uint64, _, _ int, value uint64) (uint64, bool) {
+	if s.set[sender] {
+		return 0, false
+	}
+	return value, true
+}
+
+// CorruptNodes implements Adversary.
+func (s *SilentNodes) CorruptNodes() []int { return s.IDs }
+
+// LyingNodes replaces every share from the listed nodes with
+// deterministic garbage — the same garbage for every recipient (a
+// consistent liar).
+type LyingNodes struct {
+	// IDs are the byzantine node identifiers.
+	IDs []int
+	// Salt varies the garbage stream between runs.
+	Salt uint64
+	set  map[int]bool
+}
+
+var _ Adversary = (*LyingNodes)(nil)
+
+// NewLyingNodes returns an adversary whose listed nodes broadcast
+// pseudo-random garbage.
+func NewLyingNodes(salt uint64, ids ...int) *LyingNodes {
+	l := &LyingNodes{IDs: ids, Salt: salt, set: make(map[int]bool, len(ids))}
+	for _, id := range ids {
+		l.set[id] = true
+	}
+	return l
+}
+
+// Transform implements Adversary.
+func (l *LyingNodes) Transform(sender, _ int, prime uint64, coord, point int, value uint64) (uint64, bool) {
+	if !l.set[sender] {
+		return value, true
+	}
+	g := garbage(l.Salt, uint64(sender), prime, uint64(coord), uint64(point), 0)
+	// Guarantee the share is actually wrong.
+	v := g % prime
+	if v == value {
+		v = (v + 1) % prime
+	}
+	return v, true
+}
+
+// CorruptNodes implements Adversary.
+func (l *LyingNodes) CorruptNodes() []int { return l.IDs }
+
+// EquivocatingNodes send *different* garbage to different recipients —
+// full byzantine equivocation. Per paper footnote 7, decoding still
+// succeeds at every honest node because each received word independently
+// lies within the decoding radius.
+type EquivocatingNodes struct {
+	// IDs are the byzantine node identifiers.
+	IDs []int
+	// Salt varies the garbage stream between runs.
+	Salt uint64
+	set  map[int]bool
+}
+
+var _ Adversary = (*EquivocatingNodes)(nil)
+
+// NewEquivocatingNodes returns an adversary whose listed nodes equivocate.
+func NewEquivocatingNodes(salt uint64, ids ...int) *EquivocatingNodes {
+	e := &EquivocatingNodes{IDs: ids, Salt: salt, set: make(map[int]bool, len(ids))}
+	for _, id := range ids {
+		e.set[id] = true
+	}
+	return e
+}
+
+// Transform implements Adversary.
+func (e *EquivocatingNodes) Transform(sender, recipient int, prime uint64, coord, point int, value uint64) (uint64, bool) {
+	if !e.set[sender] {
+		return value, true
+	}
+	g := garbage(e.Salt, uint64(sender), prime, uint64(coord), uint64(point), uint64(recipient)+1)
+	v := g % prime
+	if v == value {
+		v = (v + 1) % prime
+	}
+	return v, true
+}
+
+// CorruptNodes implements Adversary.
+func (e *EquivocatingNodes) CorruptNodes() []int { return e.IDs }
+
+// garbage hashes the share coordinates into a deterministic 64-bit value.
+func garbage(parts ...uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}

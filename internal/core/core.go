@@ -1,0 +1,207 @@
+// Package core implements the Camelot framework of paper §1.2–§1.4: a
+// template for community computation over a common input in which K
+// compute nodes jointly evaluate a proof polynomial P(x) mod q at e
+// points, the evaluation vector being — by construction — a nonsystematic
+// Reed–Solomon codeword. The framework provides:
+//
+//   - Proof preparation in distributed encoded form (§1.3 step 1): nodes
+//     are goroutines, each responsible for ~e/K evaluation points, that
+//     broadcast their shares over an in-memory bus.
+//   - Error correction during preparation (§1.3 step 2): every honest
+//     node independently runs the Gao decoder on whatever it received,
+//     recovering the true proof and identifying the failed nodes, for up
+//     to ⌊(e-d-1)/2⌋ corrupted shares — byzantine equivocation included.
+//   - Independent verification (§1.3 step 3): any entity checks the proof
+//     against the input with one evaluation of P at a random point;
+//     soundness error ≤ d/q per trial.
+//
+// Problems plug in via the Problem interface; answers larger than one
+// modulus are assembled by evaluating over several distinct primes and
+// reconstructing with the Chinese Remainder Theorem.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"camelot/internal/ff"
+)
+
+// Problem is a Camelot proof system: a family of Width() univariate proof
+// polynomials over Z_q (one instance per admissible prime q), each of
+// degree at most Degree(), whose evaluations any node can compute from
+// the common input.
+//
+// Evaluate must be deterministic in (q, x0): the entire framework —
+// distributed encoding, error-correction, and verification — relies on
+// every honest node computing identical shares.
+type Problem interface {
+	// Name identifies the problem in reports and errors.
+	Name() string
+	// Width is the number of simultaneous proof polynomials (most
+	// problems use 1; the chromatic polynomial uses one per color count).
+	Width() int
+	// Degree returns an upper bound d on the degree of every coordinate
+	// polynomial.
+	Degree() int
+	// MinModulus returns the smallest admissible prime modulus (problems
+	// derive it from their reconstruction and evaluation needs, e.g.
+	// q ≥ 3R+1 for the clique proof of paper §5.2).
+	MinModulus() uint64
+	// NumPrimes returns how many distinct primes are needed so that the
+	// product exceeds the problem's integer answer bound.
+	NumPrimes() int
+	// Evaluate computes (P_0(x0), ..., P_{Width-1}(x0)) mod q.
+	Evaluate(q uint64, x0 uint64) ([]uint64, error)
+}
+
+// Proof is the static, independently verifiable artifact of a Camelot
+// run: for every modulus, the coefficient vectors of the proof
+// polynomials plus the corrected codeword evaluations at points 0..e-1.
+type Proof struct {
+	// Primes are the proof moduli, ascending.
+	Primes []uint64
+	// Degree is the degree bound d (coefficient vectors have d+1 entries).
+	Degree int
+	// Width is the number of coordinate polynomials.
+	Width int
+	// Points are the evaluation points 0..e-1.
+	Points []uint64
+	// Coeffs[prime][w] is the coefficient vector of coordinate w mod prime.
+	Coeffs map[uint64][][]uint64
+	// Evals[prime][w] is the corrected codeword of coordinate w mod prime.
+	Evals map[uint64][][]uint64
+}
+
+// Eval returns P_w(x) mod prime, using the corrected evaluation table
+// when x is one of the code points and Horner otherwise.
+func (p *Proof) Eval(prime uint64, w int, x uint64) uint64 {
+	f := ff.Field{Q: prime}
+	if x < uint64(len(p.Points)) {
+		return p.Evals[prime][w][x]
+	}
+	return f.Horner(p.Coeffs[prime][w], x)
+}
+
+// SumRange returns Σ_{x=lo}^{hi-1} P_w(x) mod prime — the reconstruction
+// sum used by problems whose answer is an evaluation sum (permanent, set
+// covers, triangle trace, clique form).
+func (p *Proof) SumRange(prime uint64, w int, lo, hi uint64) uint64 {
+	f := ff.Field{Q: prime}
+	acc := uint64(0)
+	for x := lo; x < hi; x++ {
+		acc = f.Add(acc, p.Eval(prime, w, x))
+	}
+	return acc
+}
+
+// Size returns the proof size in field symbols: Width·(d+1) per prime —
+// the quantity every theorem in the paper bounds.
+func (p *Proof) Size() int {
+	return len(p.Primes) * p.Width * (p.Degree + 1)
+}
+
+// ErrNoHonestNodes is returned when the adversary corrupts every node.
+var ErrNoHonestNodes = errors.New("core: adversary left no honest nodes")
+
+// ErrProofDisagreement is returned when two honest nodes decode different
+// proofs — impossible within the decoding radius, so it indicates that
+// corruption exceeded the configured fault tolerance.
+var ErrProofDisagreement = errors.New("core: honest nodes decoded different proofs")
+
+// ErrVerificationFailed is returned when the prepared proof fails the
+// randomized check against the input.
+var ErrVerificationFailed = errors.New("core: proof verification failed")
+
+// Options configure a Camelot run. The zero value is usable: a
+// single-node, fault-free, honest run with one verification trial.
+type Options struct {
+	// Nodes is the number of compute nodes K (default 1).
+	Nodes int
+	// FaultTolerance is the number f of corrupted shares the run must
+	// survive; the codeword length is e = d+1+2f (default 0).
+	FaultTolerance int
+	// Adversary injects byzantine behaviour (default: none).
+	Adversary Adversary
+	// Seed drives verification randomness (and nothing else; the
+	// computation itself is deterministic).
+	Seed int64
+	// VerifyTrials is the number of independent spot checks each with
+	// soundness error ≤ d/q (default 1).
+	VerifyTrials int
+	// DecodingNodes caps how many honest nodes perform the full decode
+	// (every node receives everything regardless). 0 means all — the
+	// paper's model; tests at large K may reduce it for speed.
+	DecodingNodes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 1
+	}
+	if o.Adversary == nil {
+		o.Adversary = NoAdversary{}
+	}
+	if o.VerifyTrials <= 0 {
+		o.VerifyTrials = 1
+	}
+	return o
+}
+
+// PointAssignment maps evaluation-point indices to owner nodes in
+// contiguous balanced blocks, so each node performs ⌈e/K⌉ or ⌊e/K⌋
+// evaluations — the paper's intrinsic workload balance.
+type PointAssignment struct {
+	e, k int
+}
+
+// NewPointAssignment returns the balanced assignment of e points to k
+// nodes.
+func NewPointAssignment(e, k int) PointAssignment { return PointAssignment{e: e, k: k} }
+
+// Owner returns the node that evaluates point index i.
+func (pa PointAssignment) Owner(i int) int {
+	// First (e mod k) nodes own ⌈e/k⌉ points, the rest ⌊e/k⌋.
+	big := pa.e % pa.k
+	per := pa.e / pa.k
+	cut := big * (per + 1)
+	if i < cut {
+		return i / (per + 1)
+	}
+	if per == 0 {
+		return pa.k - 1
+	}
+	return big + (i-cut)/per
+}
+
+// Range returns the half-open point-index interval owned by node id.
+func (pa PointAssignment) Range(id int) (lo, hi int) {
+	big := pa.e % pa.k
+	per := pa.e / pa.k
+	if id < big {
+		lo = id * (per + 1)
+		return lo, lo + per + 1
+	}
+	lo = big*(per+1) + (id-big)*per
+	return lo, lo + per
+}
+
+// ChoosePrimes selects count distinct primes, each at least min and
+// NTT-friendly for transforms of the given order (so Reed–Solomon
+// encode/decode run quasi-linearly). Primes ascend strictly.
+func ChoosePrimes(count int, min uint64, order int) ([]uint64, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("core: need at least one prime")
+	}
+	primes := make([]uint64, 0, count)
+	next := min
+	for len(primes) < count {
+		q, _, err := ff.NTTPrime(next, order)
+		if err != nil {
+			return nil, fmt.Errorf("core: selecting prime >= %d: %w", next, err)
+		}
+		primes = append(primes, q)
+		next = q + 1
+	}
+	return primes, nil
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"camelot/internal/ff"
+)
+
+// polyProblem is a transparent test problem: width explicit polynomials
+// with small integer coefficients, evaluated honestly.
+type polyProblem struct {
+	name   string
+	coeffs [][]int64 // [coord][power]
+	minQ   uint64
+	primes int
+}
+
+var _ Problem = (*polyProblem)(nil)
+
+func (p *polyProblem) Name() string { return p.name }
+func (p *polyProblem) Width() int   { return len(p.coeffs) }
+func (p *polyProblem) Degree() int {
+	d := 0
+	for _, c := range p.coeffs {
+		if len(c)-1 > d {
+			d = len(c) - 1
+		}
+	}
+	return d
+}
+func (p *polyProblem) MinModulus() uint64 {
+	if p.minQ == 0 {
+		return 17
+	}
+	return p.minQ
+}
+func (p *polyProblem) NumPrimes() int {
+	if p.primes == 0 {
+		return 1
+	}
+	return p.primes
+}
+func (p *polyProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	f := ff.Field{Q: q}
+	out := make([]uint64, len(p.coeffs))
+	for w, cs := range p.coeffs {
+		acc := uint64(0)
+		for j := len(cs) - 1; j >= 0; j-- {
+			acc = f.Add(f.Mul(acc, x0), f.Reduce(cs[j]))
+		}
+		out[w] = acc
+	}
+	return out, nil
+}
+
+// liarProblem claims degree 1 but actually evaluates x^2: the decoded
+// "proof" cannot match fresh evaluations, so verification must fail.
+type liarProblem struct{}
+
+var _ Problem = liarProblem{}
+
+func (liarProblem) Name() string       { return "liar" }
+func (liarProblem) Width() int         { return 1 }
+func (liarProblem) Degree() int        { return 1 }
+func (liarProblem) MinModulus() uint64 { return 101 }
+func (liarProblem) NumPrimes() int     { return 1 }
+func (liarProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	f := ff.Field{Q: q}
+	return []uint64{f.Mul(x0, x0)}, nil
+}
+
+func testProblem() *polyProblem {
+	return &polyProblem{
+		name:   "test-poly",
+		coeffs: [][]int64{{3, 1, 4, 1, 5, 9, 2, 6}, {-2, 7, 0, 0, 0, 0, 0, 1}},
+	}
+}
+
+func TestRunCleanSingleNode(t *testing.T) {
+	p := testProblem()
+	proof, rep, err := Run(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("clean run not verified")
+	}
+	if rep.Nodes != 1 || rep.CodeLength != p.Degree()+1 {
+		t.Fatalf("geometry: %+v", rep)
+	}
+	// Coefficients must match the plain polynomial.
+	q := proof.Primes[0]
+	f := ff.Field{Q: q}
+	for w, cs := range p.coeffs {
+		for j, c := range cs {
+			if proof.Coeffs[q][w][j] != f.Reduce(c) {
+				t.Fatalf("coord %d coeff %d = %d, want %d", w, j, proof.Coeffs[q][w][j], f.Reduce(c))
+			}
+		}
+	}
+}
+
+func TestRunManyNodesMatchesSingle(t *testing.T) {
+	p := testProblem()
+	ctx := context.Background()
+	p1, _, err := Run(ctx, p, Options{Nodes: 1, FaultTolerance: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, rep, err := Run(ctx, p, Options{Nodes: 8, FaultTolerance: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 8 {
+		t.Fatalf("nodes = %d", rep.Nodes)
+	}
+	q := p1.Primes[0]
+	for w := 0; w < p.Width(); w++ {
+		for j := range p1.Coeffs[q][w] {
+			if p1.Coeffs[q][w][j] != p8.Coeffs[q][w][j] {
+				t.Fatal("K=1 and K=8 proofs differ")
+			}
+		}
+	}
+}
+
+func TestRunWithLyingNodesIdentifiesCulprits(t *testing.T) {
+	p := testProblem()
+	// d=7, f=4 => e = 8 + 8 = 16 points on 8 nodes => 2 points each.
+	// One lying node corrupts 2 shares <= radius 4.
+	adv := NewLyingNodes(1, 3)
+	proof, rep, err := Run(context.Background(), p, Options{
+		Nodes: 8, FaultTolerance: 4, Adversary: adv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("run with in-radius corruption must verify")
+	}
+	if len(rep.SuspectNodes) != 1 || rep.SuspectNodes[0] != 3 {
+		t.Fatalf("suspects = %v, want [3]", rep.SuspectNodes)
+	}
+	if rep.CorruptedShares == 0 {
+		t.Fatal("no corrupted shares observed")
+	}
+	// Proof must still be the true polynomial.
+	q := proof.Primes[0]
+	f := ff.Field{Q: q}
+	if proof.Coeffs[q][0][0] != f.Reduce(3) {
+		t.Fatal("corrupted run decoded wrong proof")
+	}
+}
+
+func TestRunWithSilentNodes(t *testing.T) {
+	p := testProblem()
+	adv := NewSilentNodes(0)
+	_, rep, err := Run(context.Background(), p, Options{
+		Nodes: 8, FaultTolerance: 4, Adversary: adv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The silent node owns 2 of 16 points; they may decode as errors
+	// (unless the true share was 0). Culprit identification is
+	// best-effort for crash faults; proof correctness is the invariant.
+	if !rep.Verified {
+		t.Fatal("not verified")
+	}
+}
+
+func TestRunWithEquivocation(t *testing.T) {
+	// Paper footnote 7: equivocating byzantine nodes send different
+	// garbage to different recipients; every honest node still decodes
+	// the same proof.
+	p := testProblem()
+	adv := NewEquivocatingNodes(7, 2, 5)
+	// e = 8+2*8 = 24 points on 12 nodes => 2 points per node; two
+	// byzantine nodes corrupt 4 shares <= radius 8.
+	_, rep, err := Run(context.Background(), p, Options{
+		Nodes: 12, FaultTolerance: 8, Adversary: adv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("not verified under equivocation")
+	}
+	want := map[int]bool{2: true, 5: true}
+	for _, s := range rep.SuspectNodes {
+		if !want[s] {
+			t.Fatalf("spurious suspect %d", s)
+		}
+	}
+}
+
+func TestRunBeyondRadiusFails(t *testing.T) {
+	p := testProblem()
+	// f=1 => radius 1, but the lying node owns 2+ points.
+	adv := NewLyingNodes(1, 0)
+	_, _, err := Run(context.Background(), p, Options{
+		Nodes: 4, FaultTolerance: 1, Adversary: adv,
+	})
+	if err == nil {
+		t.Fatal("expected decode failure beyond radius")
+	}
+}
+
+func TestRunAllNodesByzantine(t *testing.T) {
+	p := testProblem()
+	adv := NewLyingNodes(1, 0, 1)
+	_, _, err := Run(context.Background(), p, Options{Nodes: 2, Adversary: adv})
+	if !errors.Is(err, ErrNoHonestNodes) {
+		t.Fatalf("err = %v, want ErrNoHonestNodes", err)
+	}
+}
+
+func TestRunVerificationCatchesNonPolynomial(t *testing.T) {
+	_, _, err := Run(context.Background(), liarProblem{}, Options{Seed: 42})
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("err = %v, want ErrVerificationFailed", err)
+	}
+}
+
+func TestRunMultiPrime(t *testing.T) {
+	p := testProblem()
+	p.primes = 3
+	proof, rep, err := Run(context.Background(), p, Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Primes) != 3 || len(rep.Primes) != 3 {
+		t.Fatalf("primes = %v", proof.Primes)
+	}
+	for i := 1; i < 3; i++ {
+		if proof.Primes[i] <= proof.Primes[i-1] {
+			t.Fatal("primes must be strictly ascending (distinct)")
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := testProblem()
+	if _, _, err := Run(ctx, p, Options{Nodes: 2}); err == nil {
+		t.Fatal("cancelled context must abort the run")
+	}
+}
+
+func TestProofEvalAndSumRange(t *testing.T) {
+	p := testProblem()
+	proof, _, err := Run(context.Background(), p, Options{FaultTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := proof.Primes[0]
+	f := ff.Field{Q: q}
+	// Eval inside the table and beyond it must agree with the polynomial.
+	for _, x := range []uint64{0, 3, uint64(len(proof.Points)), 99999 % q} {
+		want, _ := p.Evaluate(q, x)
+		if got := proof.Eval(q, 0, x); got != want[0] {
+			t.Fatalf("Eval(%d) = %d, want %d", x, got, want[0])
+		}
+	}
+	// SumRange against direct summation.
+	want := uint64(0)
+	for x := uint64(2); x < 20; x++ {
+		v, _ := p.Evaluate(q, x)
+		want = f.Add(want, v[1])
+	}
+	if got := proof.SumRange(q, 1, 2, 20); got != want {
+		t.Fatalf("SumRange = %d, want %d", got, want)
+	}
+}
+
+func TestVerifyProofRejectsForgery(t *testing.T) {
+	p := testProblem()
+	proof, _, err := Run(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := proof.Primes[0]
+	proof.Coeffs[q][0][2] = (proof.Coeffs[q][0][2] + 1) % q
+	rejected := false
+	for seed := int64(0); seed < 20 && !rejected; seed++ {
+		ok, err := VerifyProof(p, proof, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejected = !ok
+	}
+	if !rejected {
+		t.Fatal("forged proof survived 20 trials (d/q ~ 7/257 per trial)")
+	}
+}
+
+func TestPointAssignmentBalanced(t *testing.T) {
+	for _, tc := range []struct{ e, k int }{{10, 3}, {16, 8}, {7, 7}, {5, 1}, {100, 7}} {
+		pa := NewPointAssignment(tc.e, tc.k)
+		counts := make([]int, tc.k)
+		for i := 0; i < tc.e; i++ {
+			owner := pa.Owner(i)
+			if owner < 0 || owner >= tc.k {
+				t.Fatalf("e=%d k=%d: owner(%d)=%d", tc.e, tc.k, i, owner)
+			}
+			counts[owner]++
+		}
+		lo, hi := tc.e/tc.k, (tc.e+tc.k-1)/tc.k
+		for id, c := range counts {
+			if c < lo || c > hi {
+				t.Fatalf("e=%d k=%d: node %d owns %d points, want in [%d,%d]", tc.e, tc.k, id, c, lo, hi)
+			}
+			rlo, rhi := pa.Range(id)
+			if rhi-rlo != c {
+				t.Fatalf("Range(%d) = [%d,%d) disagrees with owner count %d", id, rlo, rhi, c)
+			}
+			for i := rlo; i < rhi; i++ {
+				if pa.Owner(i) != id {
+					t.Fatalf("Owner(%d) != %d", i, id)
+				}
+			}
+		}
+	}
+}
+
+func TestChoosePrimes(t *testing.T) {
+	primes, err := ChoosePrimes(3, 1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, q := range primes {
+		if q < 1000 || !ff.IsPrime(q) || (q-1)%64 != 0 {
+			t.Fatalf("bad prime %d", q)
+		}
+		if seen[q] {
+			t.Fatal("duplicate prime")
+		}
+		seen[q] = true
+	}
+	if _, err := ChoosePrimes(0, 10, 4); err == nil {
+		t.Fatal("want error for count=0")
+	}
+}
+
+func TestAdversaryDeterminism(t *testing.T) {
+	a1 := NewLyingNodes(9, 1)
+	a2 := NewLyingNodes(9, 1)
+	v1, ok1 := a1.Transform(1, 0, 101, 0, 5, 7)
+	v2, ok2 := a2.Transform(1, 0, 101, 0, 5, 7)
+	if v1 != v2 || ok1 != ok2 {
+		t.Fatal("lying adversary not deterministic")
+	}
+	if v1 == 7 {
+		t.Fatal("lying adversary must change the value")
+	}
+	// Equivocators differ by recipient.
+	e := NewEquivocatingNodes(9, 1)
+	r0, _ := e.Transform(1, 0, 101, 0, 5, 7)
+	r1, _ := e.Transform(1, 2, 101, 0, 5, 7)
+	if r0 == r1 {
+		t.Fatal("equivocator sent identical values to different recipients (hash collision would be astronomically unlikely)")
+	}
+}
+
+func TestRunMoreNodesThanPoints(t *testing.T) {
+	p := &polyProblem{name: "tiny", coeffs: [][]int64{{1, 2}}}
+	_, rep, err := Run(context.Background(), p, Options{Nodes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes > rep.CodeLength {
+		t.Fatalf("nodes %d not clamped to code length %d", rep.Nodes, rep.CodeLength)
+	}
+}
+
+func TestRunRandomAdversarySweep(t *testing.T) {
+	// Property-style sweep: random fault counts within the radius always
+	// verify and never implicate honest nodes.
+	p := testProblem()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		k := 4 + rng.Intn(8)
+		f := 2 + rng.Intn(4)
+		e := p.Degree() + 1 + 2*f
+		per := (e + k - 1) / k
+		maxBad := f / per
+		if maxBad == 0 {
+			continue
+		}
+		bad := rng.Perm(k)[:1+rng.Intn(maxBad)]
+		adv := NewLyingNodes(uint64(trial), bad...)
+		_, rep, err := Run(context.Background(), p, Options{
+			Nodes: k, FaultTolerance: f, Adversary: adv, Seed: int64(trial),
+		})
+		if err != nil {
+			t.Fatalf("trial %d (k=%d f=%d bad=%v): %v", trial, k, f, bad, err)
+		}
+		badSet := map[int]bool{}
+		for _, b := range bad {
+			badSet[b] = true
+		}
+		for _, s := range rep.SuspectNodes {
+			if !badSet[s] {
+				t.Fatalf("trial %d: honest node %d implicated", trial, s)
+			}
+		}
+	}
+}
+
+func TestProofBinaryRoundTrip(t *testing.T) {
+	p := testProblem()
+	p.primes = 2
+	proof, _, err := Run(context.Background(), p, Options{FaultTolerance: 3, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Proof
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Degree != proof.Degree || back.Width != proof.Width ||
+		len(back.Points) != len(proof.Points) || len(back.Primes) != len(proof.Primes) {
+		t.Fatal("geometry did not round-trip")
+	}
+	for _, q := range proof.Primes {
+		for c := 0; c < proof.Width; c++ {
+			for j := range proof.Coeffs[q][c] {
+				if back.Coeffs[q][c][j] != proof.Coeffs[q][c][j] {
+					t.Fatal("coefficients did not round-trip")
+				}
+			}
+			for j := range proof.Evals[q][c] {
+				if back.Evals[q][c][j] != proof.Evals[q][c][j] {
+					t.Fatal("evaluations did not round-trip")
+				}
+			}
+		}
+	}
+	// The deserialized proof must still verify — the Merlin handoff.
+	ok, err := VerifyProof(p, &back, 2, 9)
+	if err != nil || !ok {
+		t.Fatalf("deserialized proof rejected: %v %v", ok, err)
+	}
+}
+
+func TestProofUnmarshalRejectsGarbage(t *testing.T) {
+	var p Proof
+	if err := p.UnmarshalBinary([]byte("definitely not a proof")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := p.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Valid magic, truncated body.
+	if err := p.UnmarshalBinary([]byte{'C', 'M', 'L', 1, 9, 0}); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+// Binary serialization for proofs. A Camelot proof is a static artifact
+// meant to outlive the computation — stored beside the input, mailed to
+// a verifier, or replayed by Merlin — so it needs a stable wire format.
+// The format is versioned, little-endian, and self-describing enough to
+// round-trip without out-of-band metadata.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// proofMagic guards against decoding unrelated bytes; the trailing byte
+// is the format version.
+var proofMagic = [4]byte{'C', 'M', 'L', 1}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+//
+// Layout: magic | degree | width | #points | points... | #primes |
+// per prime: q | width × (d+1) coefficients | width × e evaluations.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(proofMagic[:])
+	w := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint64(p.Degree))
+	w(uint64(p.Width))
+	w(uint64(len(p.Points)))
+	for _, x := range p.Points {
+		w(x)
+	}
+	w(uint64(len(p.Primes)))
+	for _, q := range p.Primes {
+		w(q)
+		coeffs, ok := p.Coeffs[q]
+		if !ok || len(coeffs) != p.Width {
+			return nil, fmt.Errorf("core: proof missing coefficients for prime %d", q)
+		}
+		evals, ok := p.Evals[q]
+		if !ok || len(evals) != p.Width {
+			return nil, fmt.Errorf("core: proof missing evaluations for prime %d", q)
+		}
+		for c := 0; c < p.Width; c++ {
+			if len(coeffs[c]) != p.Degree+1 {
+				return nil, fmt.Errorf("core: prime %d coord %d: %d coefficients, want %d",
+					q, c, len(coeffs[c]), p.Degree+1)
+			}
+			for _, v := range coeffs[c] {
+				w(v)
+			}
+		}
+		for c := 0; c < p.Width; c++ {
+			if len(evals[c]) != len(p.Points) {
+				return nil, fmt.Errorf("core: prime %d coord %d: %d evaluations, want %d",
+					q, c, len(evals[c]), len(p.Points))
+			}
+			for _, v := range evals[c] {
+				w(v)
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := r.Read(magic[:]); err != nil || magic != proofMagic {
+		return fmt.Errorf("core: not a Camelot proof (bad magic/version)")
+	}
+	var rdErr error
+	rd := func() uint64 {
+		var v uint64
+		if rdErr == nil {
+			rdErr = binary.Read(r, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	degree := rd()
+	width := rd()
+	nPoints := rd()
+	if rdErr != nil {
+		return fmt.Errorf("core: truncated proof header: %w", rdErr)
+	}
+	const sane = 1 << 28
+	if degree > sane || width > 1<<16 || nPoints > sane || uint64(len(data)) < nPoints {
+		return fmt.Errorf("core: implausible proof geometry d=%d w=%d e=%d", degree, width, nPoints)
+	}
+	p.Degree = int(degree)
+	p.Width = int(width)
+	p.Points = make([]uint64, nPoints)
+	for i := range p.Points {
+		p.Points[i] = rd()
+	}
+	nPrimes := rd()
+	if rdErr != nil {
+		return fmt.Errorf("core: truncated proof points: %w", rdErr)
+	}
+	if nPrimes > 64 {
+		return fmt.Errorf("core: implausible prime count %d", nPrimes)
+	}
+	p.Primes = make([]uint64, 0, nPrimes)
+	p.Coeffs = make(map[uint64][][]uint64, nPrimes)
+	p.Evals = make(map[uint64][][]uint64, nPrimes)
+	for pi := uint64(0); pi < nPrimes; pi++ {
+		q := rd()
+		coeffs := make([][]uint64, p.Width)
+		for c := range coeffs {
+			coeffs[c] = make([]uint64, p.Degree+1)
+			for j := range coeffs[c] {
+				coeffs[c][j] = rd()
+			}
+		}
+		evals := make([][]uint64, p.Width)
+		for c := range evals {
+			evals[c] = make([]uint64, nPoints)
+			for j := range evals[c] {
+				evals[c][j] = rd()
+			}
+		}
+		if rdErr != nil {
+			return fmt.Errorf("core: truncated proof body: %w", rdErr)
+		}
+		p.Primes = append(p.Primes, q)
+		p.Coeffs[q] = coeffs
+		p.Evals[q] = evals
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("core: %d trailing bytes after proof", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"camelot/internal/ff"
+	"camelot/internal/poly"
+	"camelot/internal/rs"
+)
+
+// Report records what a Camelot run did: sizing, timing, adversary
+// damage, and verification outcome. All durations are wall-clock per
+// phase; MaxNodeCompute approximates the paper's per-node time E and
+// TotalNodeCompute the total work EK.
+type Report struct {
+	// Problem is the Problem.Name of the run.
+	Problem string
+	// Nodes is K, the number of compute nodes.
+	Nodes int
+	// Width, Degree, CodeLength, FaultTolerance echo the run geometry
+	// (CodeLength is e = Degree+1+2·FaultTolerance).
+	Width, Degree, CodeLength, FaultTolerance int
+	// Primes are the proof moduli.
+	Primes []uint64
+	// ProofSymbols is the total proof size in field symbols.
+	ProofSymbols int
+	// ByzantineNodes are the adversary-controlled node ids.
+	ByzantineNodes []int
+	// SuspectNodes are the nodes the honest decoders identified as having
+	// contributed corrupted shares (union across decoders).
+	SuspectNodes []int
+	// CorruptedShares is the largest number of error locations any single
+	// decoder observed (per prime and coordinate, maximized).
+	CorruptedShares int
+	// ComputeWall is the wall-clock duration of the distributed
+	// evaluation phase.
+	ComputeWall time.Duration
+	// MaxNodeCompute is the largest single node's evaluation time (≈ E).
+	MaxNodeCompute time.Duration
+	// TotalNodeCompute is the summed evaluation time of all nodes (≈ EK).
+	TotalNodeCompute time.Duration
+	// DecodeWall is the wall-clock duration of the decode phase.
+	DecodeWall time.Duration
+	// VerifyPerTrial is the average duration of one verification trial.
+	VerifyPerTrial time.Duration
+	// VerifyTrials is the number of spot checks performed.
+	VerifyTrials int
+	// Verified reports whether every trial accepted.
+	Verified bool
+}
+
+// nodeShares is the single broadcast message a node contributes: its
+// evaluations for every prime, coordinate, and owned point.
+type nodeShares struct {
+	id      int
+	lo, hi  int           // owned point-index range
+	vals    [][][]uint64  // [prime][coord][point-lo]
+	elapsed time.Duration // evaluation time
+	err     error
+}
+
+// Run executes the full Camelot protocol for the problem: distributed
+// proof preparation on opts.Nodes goroutine nodes, per-node Gao decoding
+// with failed-node identification, cross-node agreement check, and
+// randomized verification. It returns the decoded proof even when
+// verification fails (callers inspect the error).
+func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) {
+	opts = opts.withDefaults()
+	d := p.Degree()
+	w := p.Width()
+	if w <= 0 || d < 0 {
+		return nil, nil, fmt.Errorf("core: %s: invalid geometry width=%d degree=%d", p.Name(), w, d)
+	}
+	e := d + 1 + 2*opts.FaultTolerance
+	k := opts.Nodes
+	if k > e {
+		k = e // more nodes than points is pointless; trailing nodes would idle
+	}
+	minQ := p.MinModulus()
+	if minQ < uint64(e)+1 {
+		minQ = uint64(e) + 1
+	}
+	order := 1
+	for order < 2*e {
+		order <<= 1
+	}
+	primes, err := ChoosePrimes(p.NumPrimes(), minQ, order)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
+	}
+
+	report := &Report{
+		Problem:        p.Name(),
+		Nodes:          k,
+		Width:          w,
+		Degree:         d,
+		CodeLength:     e,
+		FaultTolerance: opts.FaultTolerance,
+		Primes:         primes,
+		ByzantineNodes: append([]int(nil), opts.Adversary.CorruptNodes()...),
+		VerifyTrials:   opts.VerifyTrials,
+	}
+
+	// Phase 1: distributed evaluation. Each node computes its block of
+	// the codeword for every prime and coordinate and "broadcasts" it as
+	// one message. Goroutine lifetimes are bounded by the WaitGroup; a
+	// context cancellation is observed between evaluations.
+	assign := NewPointAssignment(e, k)
+	msgs := make(chan nodeShares, k)
+	var wg sync.WaitGroup
+	computeStart := time.Now()
+	for id := 0; id < k; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lo, hi := assign.Range(id)
+			m := nodeShares{id: id, lo: lo, hi: hi, vals: make([][][]uint64, len(primes))}
+			start := time.Now()
+			for pi, q := range primes {
+				m.vals[pi] = make([][]uint64, w)
+				for c := range m.vals[pi] {
+					m.vals[pi][c] = make([]uint64, hi-lo)
+				}
+				for x := lo; x < hi; x++ {
+					if err := ctx.Err(); err != nil {
+						m.err = err
+						msgs <- m
+						return
+					}
+					vec, err := p.Evaluate(q, uint64(x))
+					if err != nil {
+						m.err = fmt.Errorf("node %d evaluating P(%d) mod %d: %w", id, x, q, err)
+						msgs <- m
+						return
+					}
+					if len(vec) != w {
+						m.err = fmt.Errorf("node %d: Evaluate returned %d coords, want %d", id, len(vec), w)
+						msgs <- m
+						return
+					}
+					for c, v := range vec {
+						m.vals[pi][c][x-lo] = v % q
+					}
+				}
+			}
+			m.elapsed = time.Since(start)
+			msgs <- m
+		}(id)
+	}
+	wg.Wait()
+	close(msgs)
+
+	all := make([]nodeShares, k)
+	for m := range msgs {
+		if m.err != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), m.err)
+		}
+		all[m.id] = m
+		report.TotalNodeCompute += m.elapsed
+		if m.elapsed > report.MaxNodeCompute {
+			report.MaxNodeCompute = m.elapsed
+		}
+	}
+	report.ComputeWall = time.Since(computeStart)
+
+	// Phase 2: every honest node assembles its own received word (the
+	// adversary may equivocate per recipient) and decodes independently.
+	honest := honestNodes(k, opts.Adversary)
+	if len(honest) == 0 {
+		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), ErrNoHonestNodes)
+	}
+	decoders := honest
+	if opts.DecodingNodes > 0 && opts.DecodingNodes < len(decoders) {
+		decoders = decoders[:opts.DecodingNodes]
+	}
+
+	codes := make([]*rs.Code, len(primes))
+	for pi, q := range primes {
+		ring := poly.NewRing(ff.Field{Q: q})
+		code, err := rs.New(ring, rs.ConsecutivePoints(e), d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: building code mod %d: %w", p.Name(), q, err)
+		}
+		codes[pi] = code
+	}
+
+	decodeStart := time.Now()
+	results := make([]*decodeResult, len(decoders))
+	errs := make(chan error, len(decoders))
+	var dwg sync.WaitGroup
+	for di, recipient := range decoders {
+		dwg.Add(1)
+		go func(di, recipient int) {
+			defer dwg.Done()
+			res, err := decodeAsNode(recipient, p, primes, codes, all, assign, opts.Adversary, w, e)
+			if err != nil {
+				errs <- fmt.Errorf("node %d decoding: %w", recipient, err)
+				return
+			}
+			results[di] = res
+		}(di, recipient)
+	}
+	dwg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
+	}
+	report.DecodeWall = time.Since(decodeStart)
+
+	// Agreement: all decoders must have recovered the same proof.
+	first := results[0]
+	for _, res := range results[1:] {
+		if !first.sameProof(res) {
+			return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), ErrProofDisagreement)
+		}
+	}
+	suspects := map[int]bool{}
+	for _, res := range results {
+		for nid := range res.suspects {
+			suspects[nid] = true
+		}
+		if res.maxErrors > report.CorruptedShares {
+			report.CorruptedShares = res.maxErrors
+		}
+	}
+	report.SuspectNodes = sortedKeys(suspects)
+
+	proof := &Proof{
+		Primes: primes,
+		Degree: d,
+		Width:  w,
+		Points: rs.ConsecutivePoints(e),
+		Coeffs: first.coeffs,
+		Evals:  first.evals,
+	}
+	report.ProofSymbols = proof.Size()
+
+	// Phase 3: randomized verification against the input (paper eq. (2)).
+	verifyStart := time.Now()
+	ok, err := VerifyProof(p, proof, opts.VerifyTrials, opts.Seed)
+	if err != nil {
+		return proof, report, fmt.Errorf("core: %s: verification: %w", p.Name(), err)
+	}
+	report.VerifyPerTrial = time.Since(verifyStart) / time.Duration(opts.VerifyTrials)
+	report.Verified = ok
+	if !ok {
+		return proof, report, fmt.Errorf("core: %s: %w", p.Name(), ErrVerificationFailed)
+	}
+	return proof, report, nil
+}
+
+type decodeResult struct {
+	coeffs    map[uint64][][]uint64
+	evals     map[uint64][][]uint64
+	suspects  map[int]bool
+	maxErrors int
+}
+
+func (a *decodeResult) sameProof(b *decodeResult) bool {
+	for q, ac := range a.coeffs {
+		bc, ok := b.coeffs[q]
+		if !ok || len(ac) != len(bc) {
+			return false
+		}
+		for w := range ac {
+			if !poly.Equal(ac[w], bc[w]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// decodeAsNode assembles the word the recipient received — shares from
+// each sender pass through the adversary — and runs the Gao decoder for
+// every prime and coordinate.
+func decodeAsNode(recipient int, p Problem, primes []uint64, codes []*rs.Code,
+	all []nodeShares, assign PointAssignment, adv Adversary, w, e int) (*decodeResult, error) {
+	res := &decodeResult{
+		coeffs:   make(map[uint64][][]uint64, len(primes)),
+		evals:    make(map[uint64][][]uint64, len(primes)),
+		suspects: make(map[int]bool),
+	}
+	word := make([]uint64, e)
+	for pi, q := range primes {
+		res.coeffs[q] = make([][]uint64, w)
+		res.evals[q] = make([][]uint64, w)
+		for c := 0; c < w; c++ {
+			for _, sender := range all {
+				for x := sender.lo; x < sender.hi; x++ {
+					v, delivered := adv.Transform(sender.id, recipient, q, c, x, sender.vals[pi][c][x-sender.lo])
+					if !delivered {
+						v = 0 // missing share: decoder sees it as a (probable) error symbol
+					}
+					word[x] = v
+				}
+			}
+			msg, corrected, locs, err := codes[pi].Decode(word)
+			if err != nil {
+				return nil, fmt.Errorf("prime %d coord %d: %w", q, c, err)
+			}
+			res.coeffs[q][c] = msg
+			res.evals[q][c] = corrected
+			for _, loc := range locs {
+				res.suspects[assign.Owner(loc)] = true
+			}
+			if len(locs) > res.maxErrors {
+				res.maxErrors = len(locs)
+			}
+		}
+	}
+	return res, nil
+}
+
+// VerifyProof runs the paper's randomized check (eq. (2)): for each of
+// trials rounds and each modulus it draws a uniform x0 and compares one
+// fresh evaluation of P(x0) with Horner evaluation of the claimed
+// coefficients, for every coordinate. A correct proof always passes; a
+// forged one survives a round with probability at most d/q.
+//
+// This is also the Merlin–Arthur mode: Arthur runs VerifyProof against a
+// proof Merlin supplied, spending only a single node's evaluation effort
+// per trial.
+func VerifyProof(p Problem, proof *Proof, trials int, seed int64) (bool, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		for _, q := range proof.Primes {
+			f := ff.Field{Q: q}
+			x0 := rng.Uint64() % q
+			want, err := p.Evaluate(q, x0)
+			if err != nil {
+				return false, fmt.Errorf("evaluating P(%d) mod %d: %w", x0, q, err)
+			}
+			coeffs, ok := proof.Coeffs[q]
+			if !ok {
+				return false, fmt.Errorf("proof missing modulus %d", q)
+			}
+			for c := 0; c < proof.Width; c++ {
+				if f.Horner(coeffs[c], x0) != want[c]%q {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+func honestNodes(k int, adv Adversary) []int {
+	bad := make(map[int]bool)
+	for _, id := range adv.CorruptNodes() {
+		bad[id] = true
+	}
+	out := make([]int, 0, k)
+	for id := 0; id < k; id++ {
+		if !bad[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package csp
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"camelot/internal/core"
+	"camelot/internal/tensor"
+)
+
+func TestPairIndexBijective(t *testing.T) {
+	seen := make(map[int]bool)
+	for s := 0; s < 6; s++ {
+		for tt := s + 1; tt < 6; tt++ {
+			idx := pairIndex(s, tt)
+			if idx < 0 || idx >= 15 || seen[idx] {
+				t.Fatalf("pairIndex(%d,%d) = %d invalid/duplicate", s, tt, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestConstraintType(t *testing.T) {
+	tests := []struct{ b1, b2, s, tt int }{
+		{0, 0, 0, 1}, {1, 1, 0, 1}, {2, 2, 0, 2}, {5, 5, 0, 5},
+		{0, 3, 0, 3}, {3, 0, 0, 3}, {2, 4, 2, 4},
+	}
+	for _, tc := range tests {
+		s, tt := constraintType(tc.b1, tc.b2)
+		if s != tc.s || tt != tc.tt {
+			t.Fatalf("type(%d,%d) = (%d,%d), want (%d,%d)", tc.b1, tc.b2, s, tt, tc.s, tc.tt)
+		}
+	}
+}
+
+func TestDistributionBruteSanity(t *testing.T) {
+	// n=6, σ=2, one constraint allowing all pairs: all 64 assignments
+	// satisfy exactly 1 constraint.
+	all := make([]bool, 4)
+	for i := range all {
+		all[i] = true
+	}
+	sys := &System{N: 6, Sigma: 2, Constraints: []Constraint{{U: 0, V: 3, Allowed: all}}}
+	dist := DistributionBrute(sys)
+	if dist[0].Sign() != 0 || dist[1].Cmp(big.NewInt(64)) != 0 {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestCamelotMatchesBrute(t *testing.T) {
+	cases := []struct {
+		name  string
+		sys   *System
+		base  tensor.Decomposition
+		nodes int
+	}{
+		{"binary-n6", RandomSystem(6, 2, 5, 0.5, 1), tensor.Strassen(), 3},
+		{"binary-n6-dense", RandomSystem(6, 2, 8, 0.7, 2), tensor.Trivial(2), 2},
+		{"ternary-n6", RandomSystem(6, 3, 4, 0.4, 3), tensor.Strassen(), 3},
+		{"binary-n12", RandomSystem(12, 2, 6, 0.5, 4), tensor.Strassen(), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := DistributionBrute(tc.sys)
+			p, err := NewProblem(tc.sys, tc.base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proof, rep, err := core.Run(context.Background(), p, core.Options{Nodes: tc.nodes, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Verified {
+				t.Fatal("not verified")
+			}
+			got, err := p.Distribution(proof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("distribution length %d, want %d", len(got), len(want))
+			}
+			for k := range want {
+				if got[k].Cmp(want[k]) != 0 {
+					t.Fatalf("N_%d = %v, want %v", k, got[k], want[k])
+				}
+			}
+		})
+	}
+}
+
+func TestDistributionSumsToSigmaN(t *testing.T) {
+	sys := RandomSystem(6, 2, 4, 0.5, 7)
+	p, err := NewProblem(sys, tensor.Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := core.Run(context.Background(), p, core.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := p.Distribution(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := new(big.Int)
+	for _, v := range dist {
+		total.Add(total, v)
+	}
+	if total.Cmp(big.NewInt(64)) != 0 {
+		t.Fatalf("distribution sums to %v, want 2^6 = 64", total)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewProblem(&System{N: 5, Sigma: 2}, tensor.Strassen()); err == nil {
+		t.Fatal("n not divisible by 6 must be rejected")
+	}
+	if _, err := NewProblem(&System{N: 6, Sigma: 1}, tensor.Strassen()); err == nil {
+		t.Fatal("σ=1 must be rejected")
+	}
+	bad := &System{N: 6, Sigma: 2, Constraints: []Constraint{{U: 0, V: 0, Allowed: make([]bool, 4)}}}
+	if _, err := NewProblem(bad, tensor.Strassen()); err == nil {
+		t.Fatal("u == v must be rejected")
+	}
+	short := &System{N: 6, Sigma: 2, Constraints: []Constraint{{U: 0, V: 1, Allowed: make([]bool, 3)}}}
+	if _, err := NewProblem(short, tensor.Strassen()); err == nil {
+		t.Fatal("short table must be rejected")
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	sys := &System{N: 6, Sigma: 2}
+	p, err := NewProblem(sys, tensor.Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := core.Run(context.Background(), p, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := p.Distribution(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0].Cmp(big.NewInt(64)) != 0 {
+		t.Fatalf("N_0 = %v, want 64", dist[0])
+	}
+}
+
+func TestWeightedCSPMatchesBrute(t *testing.T) {
+	// The Remark after Theorem 12: nonnegative integer weights multiply
+	// the proof width/size by W. Build a weighted system and compare the
+	// weight-indexed distribution with brute force.
+	sys := RandomSystem(6, 2, 4, 0.5, 13)
+	weights := []int{1, 3, 2, 1}
+	for i := range sys.Constraints {
+		sys.Constraints[i].Weight = weights[i]
+	}
+	if got := sys.TotalWeight(); got != 7 {
+		t.Fatalf("TotalWeight = %d, want 7", got)
+	}
+	want := DistributionBrute(sys)
+	p, err := NewProblem(sys, tensor.Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width() != 8 {
+		t.Fatalf("Width = %d, want W+1 = 8", p.Width())
+	}
+	proof, rep, err := core.Run(context.Background(), p, core.Options{Nodes: 2, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("not verified")
+	}
+	got, err := p.Distribution(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distribution length %d, want %d", len(got), len(want))
+	}
+	total := new(big.Int)
+	for k := range want {
+		if got[k].Cmp(want[k]) != 0 {
+			t.Fatalf("N_%d = %v, want %v", k, got[k], want[k])
+		}
+		total.Add(total, got[k])
+	}
+	if total.Cmp(big.NewInt(64)) != 0 {
+		t.Fatalf("distribution sums to %v, want 2^6", total)
+	}
+}
+
+func TestWeightedCSPRejectsNegativeWeight(t *testing.T) {
+	sys := RandomSystem(6, 2, 2, 0.5, 15)
+	sys.Constraints[0].Weight = -1
+	if _, err := NewProblem(sys, tensor.Strassen()); err == nil {
+		t.Fatal("negative weight must be rejected")
+	}
+}

@@ -1,0 +1,289 @@
+// Package ff implements arithmetic in prime fields Z_q for word-sized
+// primes q, together with the primality and prime-search utilities the
+// Camelot framework uses to pick proof moduli (paper §1.3, §2.2).
+//
+// All element values are canonical residues in [0, q). Operations never
+// allocate; a Field is a small value type that is cheap to copy.
+package ff
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// MaxPrime is the largest modulus the package accepts. Keeping q below
+// 2^62 guarantees that a+b never wraps uint64 and that 128-bit product
+// reduction via bits.Div64 cannot trap (quotient always fits).
+const MaxPrime = 1<<62 - 1
+
+// ErrNotPrime is returned by New when the requested modulus fails the
+// primality test.
+var ErrNotPrime = errors.New("ff: modulus is not prime")
+
+// Field is the prime field Z_q. The zero value is invalid; construct
+// with New (checked) or Must (panics on error, for constants in tests).
+type Field struct {
+	// Q is the prime modulus.
+	Q uint64
+}
+
+// New returns the field Z_q, verifying that q is prime and in range.
+func New(q uint64) (Field, error) {
+	if q < 2 || q > MaxPrime {
+		return Field{}, fmt.Errorf("ff: modulus %d out of range [2, 2^62): %w", q, ErrNotPrime)
+	}
+	if !IsPrime(q) {
+		return Field{}, fmt.Errorf("ff: modulus %d: %w", q, ErrNotPrime)
+	}
+	return Field{Q: q}, nil
+}
+
+// Must is like New but panics on error. Intended for tests and package
+// initialization of known-prime constants.
+func Must(q uint64) Field {
+	f, err := New(q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Add returns a+b mod q.
+func (f Field) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= f.Q || s < a { // s < a catches wrap, impossible for q < 2^63 but cheap
+		s -= f.Q
+	}
+	return s
+}
+
+// Sub returns a-b mod q.
+func (f Field) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + f.Q - b
+}
+
+// Neg returns -a mod q.
+func (f Field) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return f.Q - a
+}
+
+// Mul returns a*b mod q using a 128-bit intermediate product.
+func (f Field) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, f.Q)
+	return rem
+}
+
+// Reduce maps an arbitrary signed integer into [0, q).
+func (f Field) Reduce(x int64) uint64 {
+	m := x % int64(f.Q)
+	if m < 0 {
+		m += int64(f.Q)
+	}
+	return uint64(m)
+}
+
+// ReduceU maps an arbitrary unsigned integer into [0, q).
+func (f Field) ReduceU(x uint64) uint64 { return x % f.Q }
+
+// Exp returns a^e mod q by square-and-multiply.
+func (f Field) Exp(a, e uint64) uint64 {
+	a %= f.Q
+	result := uint64(1 % f.Q)
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, a)
+		}
+		a = f.Mul(a, a)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a mod q. It panics if a == 0;
+// callers own the zero check (division by zero is a programming error,
+// not an input error, everywhere this package is used).
+func (f Field) Inv(a uint64) uint64 {
+	if a == 0 {
+		panic("ff: inverse of zero")
+	}
+	// Fermat: a^(q-2). Extended Euclid would be marginally faster but the
+	// exponentiation is branch-free and obviously correct.
+	return f.Exp(a, f.Q-2)
+}
+
+// Div returns a/b mod q. Panics if b == 0.
+func (f Field) Div(a, b uint64) uint64 { return f.Mul(a, f.Inv(b)) }
+
+// BatchInv inverts every element of xs in place using Montgomery's trick
+// (3(n-1) multiplications plus one inversion). Panics if any element is 0.
+func (f Field) BatchInv(xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	prefix := make([]uint64, len(xs))
+	acc := uint64(1)
+	for i, x := range xs {
+		if x == 0 {
+			panic("ff: batch inverse of zero")
+		}
+		prefix[i] = acc
+		acc = f.Mul(acc, x)
+	}
+	inv := f.Inv(acc)
+	for i := len(xs) - 1; i >= 0; i-- {
+		x := xs[i]
+		xs[i] = f.Mul(inv, prefix[i])
+		inv = f.Mul(inv, x)
+	}
+}
+
+// IsPrime reports whether n is prime, using a deterministic Miller–Rabin
+// witness set valid for all 64-bit integers.
+func IsPrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n%2 == 0:
+		return false
+	}
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	// Sinclair's deterministic base set for n < 2^64.
+	for _, a := range [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022} {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		if !millerRabinWitness(n, a, d, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// millerRabinWitness reports whether n passes one Miller–Rabin round with
+// base a, where n-1 = d * 2^r with d odd.
+func millerRabinWitness(n, a, d uint64, r int) bool {
+	f := Field{Q: n}
+	x := f.Exp(a, d)
+	if x == 1 || x == n-1 {
+		return true
+	}
+	for i := 0; i < r-1; i++ {
+		x = f.Mul(x, x)
+		if x == n-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextPrime returns the smallest prime >= n.
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+// NTTPrime returns the smallest prime q >= min of the form c*2^k + 1 with
+// 2^k >= order, together with a primitive 2^k-th root of unity mod q.
+// Such primes admit radix-2 NTT convolution of length up to 2^k, which the
+// polynomial package uses for quasi-linear encoding/decoding (paper §2.2).
+func NTTPrime(min uint64, order int) (q, root uint64, err error) {
+	if order < 1 {
+		order = 1
+	}
+	k := 0
+	for 1<<k < order {
+		k++
+	}
+	if k > 40 {
+		return 0, 0, fmt.Errorf("ff: NTT order 2^%d too large", k)
+	}
+	step := uint64(1) << k
+	// Smallest candidate c*2^k+1 >= max(min, 2^k+1).
+	c := (min + step - 1) / step
+	if c == 0 {
+		c = 1
+	}
+	for {
+		q = c*step + 1
+		if q < min {
+			c++
+			continue
+		}
+		if q > MaxPrime {
+			return 0, 0, fmt.Errorf("ff: no NTT prime of order 2^%d below 2^62 and >= %d", k, min)
+		}
+		if IsPrime(q) {
+			g, err := primitiveRoot(q)
+			if err != nil {
+				return 0, 0, err
+			}
+			f := Field{Q: q}
+			root = f.Exp(g, (q-1)>>uint(k))
+			return q, root, nil
+		}
+		c++
+	}
+}
+
+// primitiveRoot finds a generator of the multiplicative group of Z_q.
+func primitiveRoot(q uint64) (uint64, error) {
+	phi := q - 1
+	factors := factorize(phi)
+	f := Field{Q: q}
+	for g := uint64(2); g < q; g++ {
+		ok := true
+		for _, p := range factors {
+			if f.Exp(g, phi/p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("ff: no primitive root mod %d (modulus not prime?)", q)
+}
+
+// factorize returns the distinct prime factors of n by trial division
+// (adequate: used once per prime selection, on q-1 which is smooth-ish
+// for NTT primes anyway).
+func factorize(n uint64) []uint64 {
+	var fs []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}

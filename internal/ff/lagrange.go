@@ -1,0 +1,102 @@
+package ff
+
+// This file implements the Lagrange evaluation kernels of paper §5.3 and
+// §3.3: given a point x0, produce the full vector of Lagrange basis values
+// over the consecutive node sets {1..R} or {0..R-1} in O(R) operations,
+// via the factorial recurrence
+//
+//	Λ_r(x0) = Γ(x0) / ((-1)^{R-r} F_{r-1} F_{R-r} (x0-r)),   Γ(x0) = Π_{j=1..R} (x0-j).
+//
+// These vectors seed Yates's algorithm when evaluating the interpolated
+// tensor coefficients α_de(x0), β_ef(x0), γ_df(x0).
+
+// LagrangeAtOneBased returns the vector (Λ_1(x0), ..., Λ_R(x0)) mod q for
+// the Lagrange basis over the points 1..R (paper eq. (13)).
+//
+// The modulus must satisfy q > R so the points are distinct mod q.
+func (f Field) LagrangeAtOneBased(bigR int, x0 uint64) []uint64 {
+	out := make([]uint64, bigR)
+	x0 %= f.Q
+	// If x0 is one of the interpolation points the basis is an indicator.
+	if x0 >= 1 && x0 <= uint64(bigR) {
+		out[x0-1] = 1
+		return out
+	}
+	// F_j = j! for j = 0..R-1.
+	fact := make([]uint64, bigR)
+	fact[0] = 1
+	for j := 1; j < bigR; j++ {
+		fact[j] = f.Mul(fact[j-1], uint64(j)%f.Q)
+	}
+	// Γ(x0) = Π_{j=1..R}(x0 - j), plus per-point denominators.
+	gamma := uint64(1)
+	denoms := make([]uint64, bigR)
+	for r := 1; r <= bigR; r++ {
+		diff := f.Sub(x0, uint64(r)%f.Q)
+		denoms[r-1] = diff
+		gamma = f.Mul(gamma, diff)
+	}
+	// denom_r = (-1)^{R-r} F_{r-1} F_{R-r} (x0-r); invert all at once.
+	for r := 1; r <= bigR; r++ {
+		d := f.Mul(fact[r-1], fact[bigR-r])
+		d = f.Mul(d, denoms[r-1])
+		if (bigR-r)%2 == 1 {
+			d = f.Neg(d)
+		}
+		denoms[r-1] = d
+	}
+	f.BatchInv(denoms)
+	for r := 0; r < bigR; r++ {
+		out[r] = f.Mul(gamma, denoms[r])
+	}
+	return out
+}
+
+// LagrangeAtZeroBased returns the vector (Φ_0(x0), ..., Φ_{R-1}(x0)) mod q
+// for the Lagrange basis over the points 0..R-1. This variant serves proof
+// polynomials whose natural evaluation grid starts at zero (permanent, set
+// covers, §3.3 polynomial extension with 1-based ranges shifted).
+func (f Field) LagrangeAtZeroBased(bigR int, x0 uint64) []uint64 {
+	out := make([]uint64, bigR)
+	x0 %= f.Q
+	if x0 < uint64(bigR) {
+		out[x0] = 1
+		return out
+	}
+	fact := make([]uint64, bigR)
+	fact[0] = 1
+	for j := 1; j < bigR; j++ {
+		fact[j] = f.Mul(fact[j-1], uint64(j)%f.Q)
+	}
+	gamma := uint64(1)
+	denoms := make([]uint64, bigR)
+	for i := 0; i < bigR; i++ {
+		diff := f.Sub(x0, uint64(i)%f.Q)
+		denoms[i] = diff
+		gamma = f.Mul(gamma, diff)
+	}
+	for i := 0; i < bigR; i++ {
+		d := f.Mul(fact[i], fact[bigR-1-i])
+		d = f.Mul(d, denoms[i])
+		if (bigR-1-i)%2 == 1 {
+			d = f.Neg(d)
+		}
+		denoms[i] = d
+	}
+	f.BatchInv(denoms)
+	for i := 0; i < bigR; i++ {
+		out[i] = f.Mul(gamma, denoms[i])
+	}
+	return out
+}
+
+// Horner evaluates the polynomial with coefficient slice coeffs
+// (coeffs[j] is the coefficient of x^j) at x, mod q. This is the
+// verifier's right-hand side of paper eq. (2).
+func (f Field) Horner(coeffs []uint64, x uint64) uint64 {
+	acc := uint64(0)
+	for j := len(coeffs) - 1; j >= 0; j-- {
+		acc = f.Add(f.Mul(acc, x), coeffs[j])
+	}
+	return acc
+}

@@ -1,0 +1,339 @@
+// Package graph provides the simple-graph and multigraph types consumed by
+// the Camelot algorithm instantiations: bitset adjacency for the
+// exponential-time algorithms (independent-set and clique predicates in
+// O(n/64) words), edge lists for the sparse triangle algorithms, and
+// deterministic generators for the experiment workloads.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"camelot/internal/bitset"
+)
+
+// Graph is an undirected simple graph on vertices 0..n-1.
+type Graph struct {
+	n   int
+	adj []bitset.Set
+	m   int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	g := &Graph{n: n, adj: make([]bitset.Set, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are ignored (simple graph).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || g.adj[u].Contains(v) {
+		return
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+	g.m++
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return u != v && g.adj[u].Contains(v) }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return g.adj[v].Count() }
+
+// Neighbors returns the adjacency bitset of v (callers must not mutate).
+func (g *Graph) Neighbors(v int) bitset.Set { return g.adj[v] }
+
+// Edges returns all edges as ordered pairs (u < v).
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		})
+	}
+	return out
+}
+
+// IsCliqueMask reports whether the vertex subset encoded by mask
+// (n <= 64) induces a clique.
+func (g *Graph) IsCliqueMask(mask uint64) bool {
+	for u := 0; u < g.n && u < 64; u++ {
+		if mask&(1<<uint(u)) == 0 {
+			continue
+		}
+		// Every mask vertex after u must be adjacent to u.
+		rest := mask &^ ((uint64(2) << uint(u)) - 1)
+		if rest&^g.adj[u].Word(0) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIndependentMask reports whether the vertex subset encoded by mask
+// (n <= 64) is an independent set.
+func (g *Graph) IsIndependentMask(mask uint64) bool {
+	for u := 0; u < g.n && u < 64; u++ {
+		if mask&(1<<uint(u)) == 0 {
+			continue
+		}
+		if mask&g.adj[u].Word(0) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgesWithinMask counts edges of the subgraph induced by mask (n <= 64).
+func (g *Graph) EdgesWithinMask(mask uint64) int {
+	c := 0
+	for u := 0; u < g.n && u < 64; u++ {
+		if mask&(1<<uint(u)) == 0 {
+			continue
+		}
+		c += onesCount(mask & g.adj[u].Word(0))
+	}
+	return c / 2
+}
+
+// EdgesBetweenMasks counts edges with one endpoint in each (disjoint)
+// mask (n <= 64).
+func (g *Graph) EdgesBetweenMasks(a, b uint64) int {
+	c := 0
+	for u := 0; u < g.n && u < 64; u++ {
+		if a&(1<<uint(u)) == 0 {
+			continue
+		}
+		c += onesCount(b & g.adj[u].Word(0))
+	}
+	return c
+}
+
+func onesCount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// NeighborhoodMask returns the union of neighborhoods of the vertices in
+// mask, as a mask (n <= 64).
+func (g *Graph) NeighborhoodMask(mask uint64) uint64 {
+	var nb uint64
+	for u := 0; u < g.n && u < 64; u++ {
+		if mask&(1<<uint(u)) != 0 {
+			nb |= g.adj[u].Word(0)
+		}
+	}
+	return nb
+}
+
+// AdjacencyMatrix returns the n×n 0/1 adjacency matrix in row-major order.
+func (g *Graph) AdjacencyMatrix() []uint64 {
+	a := make([]uint64, g.n*g.n)
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) { a[u*g.n+v] = 1 })
+	}
+	return a
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string { return fmt.Sprintf("graph(n=%d, m=%d)", g.n, g.m) }
+
+// --- Generators ------------------------------------------------------------
+
+// Gnp returns an Erdős–Rényi G(n, p) graph drawn with the given seed.
+func Gnp(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Cycle returns C_n.
+func Cycle(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns P_n (n vertices, n-1 edges).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph (10 vertices, 15 edges) — the
+// classic chromatic/Tutte test subject.
+func Petersen() *Graph {
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(i+5, (i+2)%5+5) // inner pentagram
+		g.AddEdge(i, i+5)         // spokes
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// PlantCliques returns a sparse G(n, p) graph with cnt cliques of size k
+// planted on random vertex sets — a workload where clique counting has a
+// known-from-construction lower bound.
+func PlantCliques(n int, p float64, k, cnt int, seed int64) *Graph {
+	g := Gnp(n, p, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for c := 0; c < cnt; c++ {
+		perm := rng.Perm(n)[:k]
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				g.AddEdge(perm[i], perm[j])
+			}
+		}
+	}
+	return g
+}
+
+// --- Multigraphs (Tutte polynomial) ----------------------------------------
+
+// Multigraph is an undirected multigraph: parallel edges and self-loops
+// are allowed and significant (the Tutte polynomial distinguishes them).
+type Multigraph struct {
+	n     int
+	edges [][2]int
+}
+
+// NewMultigraph returns an edgeless multigraph on n vertices.
+func NewMultigraph(n int) *Multigraph { return &Multigraph{n: n} }
+
+// FromGraph converts a simple graph into a multigraph.
+func FromGraph(g *Graph) *Multigraph {
+	mg := NewMultigraph(g.N())
+	for _, e := range g.Edges() {
+		mg.AddEdge(e[0], e[1])
+	}
+	return mg
+}
+
+// N returns the vertex count.
+func (mg *Multigraph) N() int { return mg.n }
+
+// M returns the edge count (with multiplicity).
+func (mg *Multigraph) M() int { return len(mg.edges) }
+
+// AddEdge appends the edge {u, v}; u == v inserts a loop.
+func (mg *Multigraph) AddEdge(u, v int) { mg.edges = append(mg.edges, [2]int{u, v}) }
+
+// Edges returns the edge list (callers must not mutate).
+func (mg *Multigraph) Edges() [][2]int { return mg.edges }
+
+// Components returns the number of connected components of the spanning
+// subgraph with the edge subset selected by include (nil = all edges).
+func (mg *Multigraph) Components(include []bool) int {
+	parent := make([]int, mg.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := mg.n
+	for i, e := range mg.edges {
+		if include != nil && !include[i] {
+			continue
+		}
+		ru, rv := find(e[0]), find(e[1])
+		if ru != rv {
+			parent[ru] = rv
+			comps--
+		}
+	}
+	return comps
+}
+
+// EdgesWithinMask counts edges (with multiplicity, loops included) whose
+// endpoints both lie in mask (n <= 64).
+func (mg *Multigraph) EdgesWithinMask(mask uint64) int {
+	c := 0
+	for _, e := range mg.edges {
+		if mask&(1<<uint(e[0])) != 0 && mask&(1<<uint(e[1])) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// EdgesBetweenMasks counts edges with one endpoint in a and the other in
+// b, for disjoint masks (n <= 64). Loops never cross.
+func (mg *Multigraph) EdgesBetweenMasks(a, b uint64) int {
+	c := 0
+	for _, e := range mg.edges {
+		ea, eb := uint64(1)<<uint(e[0]), uint64(1)<<uint(e[1])
+		if (a&ea != 0 && b&eb != 0) || (a&eb != 0 && b&ea != 0) {
+			c++
+		}
+	}
+	return c
+}
+
+// RandomMultigraph returns a multigraph with m edges drawn uniformly with
+// replacement (so loops and parallel edges occur).
+func RandomMultigraph(n, m int, seed int64) *Multigraph {
+	rng := rand.New(rand.NewSource(seed))
+	mg := NewMultigraph(n)
+	for i := 0; i < m; i++ {
+		mg.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return mg
+}

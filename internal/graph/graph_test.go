@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestAddEdgeSimpleInvariants(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate ignored
+	g.AddEdge(2, 2) // loop ignored
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge must be symmetric")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatal("loops must be rejected")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("wrong degrees")
+	}
+}
+
+func TestEdgesList(t *testing.T) {
+	g := Cycle(4)
+	edges := g.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("edges = %v", edges)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not ordered", e)
+		}
+	}
+}
+
+func TestMaskPredicates(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 attached to 0.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+
+	tests := []struct {
+		mask   uint64
+		clique bool
+		indep  bool
+	}{
+		{0b0000, true, true},
+		{0b0001, true, true},
+		{0b0111, true, false},  // the triangle
+		{0b1111, false, false}, // 1-3 not an edge
+		{0b1010, true, false},  // hmm: {1,3} edge? no => clique false
+		{0b0110, true, false},  // {1,2} edge: clique, not independent
+		{0b1100, true, true},   // {2,3}: no edge: independent, not clique
+	}
+	for _, tt := range tests {
+		if tt.mask == 0b1010 {
+			// {1,3}: no edge => not a clique but independent.
+			if g.IsCliqueMask(tt.mask) {
+				t.Errorf("mask %04b: IsClique = true, want false", tt.mask)
+			}
+			if !g.IsIndependentMask(tt.mask) {
+				t.Errorf("mask %04b: IsIndependent = false, want true", tt.mask)
+			}
+			continue
+		}
+		if tt.mask == 0b1100 {
+			if g.IsCliqueMask(tt.mask) {
+				t.Errorf("mask %04b: IsClique true, want false", tt.mask)
+			}
+			if !g.IsIndependentMask(tt.mask) {
+				t.Errorf("mask %04b: IsIndependent false, want true", tt.mask)
+			}
+			continue
+		}
+		if got := g.IsCliqueMask(tt.mask); got != tt.clique {
+			t.Errorf("mask %04b: IsClique = %v, want %v", tt.mask, got, tt.clique)
+		}
+		if got := g.IsIndependentMask(tt.mask); got != tt.indep {
+			t.Errorf("mask %04b: IsIndependent = %v, want %v", tt.mask, got, tt.indep)
+		}
+	}
+}
+
+func TestEdgeCountingMasks(t *testing.T) {
+	g := Complete(5)
+	if got := g.EdgesWithinMask(0b11111); got != 10 {
+		t.Fatalf("EdgesWithinMask(K5) = %d, want 10", got)
+	}
+	if got := g.EdgesWithinMask(0b00111); got != 3 {
+		t.Fatalf("EdgesWithinMask(triangle) = %d, want 3", got)
+	}
+	if got := g.EdgesBetweenMasks(0b00011, 0b11100); got != 6 {
+		t.Fatalf("EdgesBetweenMasks = %d, want 6", got)
+	}
+}
+
+func TestNeighborhoodMask(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	if got := g.NeighborhoodMask(0b0001); got != 0b0010 {
+		t.Fatalf("N(0) = %04b", got)
+	}
+	if got := g.NeighborhoodMask(0b0110); got != 0b1111 {
+		t.Fatalf("N({1,2}) = %04b, want 1111", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"complete6", Complete(6), 6, 15},
+		{"cycle7", Cycle(7), 7, 7},
+		{"path5", Path(5), 5, 4},
+		{"petersen", Petersen(), 10, 15},
+		{"bipartite", CompleteBipartite(3, 4), 7, 12},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.n || tt.g.M() != tt.m {
+				t.Fatalf("got (n=%d, m=%d), want (%d, %d)", tt.g.N(), tt.g.M(), tt.n, tt.m)
+			}
+		})
+	}
+}
+
+func TestPetersenIsCubic(t *testing.T) {
+	g := Petersen()
+	for v := 0; v < 10; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("degree(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(30, 0.3, 7)
+	b := Gnp(30, 0.3, 7)
+	if a.M() != b.M() {
+		t.Fatal("same seed must give same graph")
+	}
+	c := Gnp(30, 0.3, 8)
+	if a.M() == c.M() && a.String() == c.String() {
+		// Edge counts can coincide; compare adjacency.
+		same := true
+		for v := 0; v < 30; v++ {
+			if a.adj[v].Word(0) != c.adj[v].Word(0) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical graphs")
+		}
+	}
+}
+
+func TestPlantCliques(t *testing.T) {
+	g := PlantCliques(20, 0.05, 5, 2, 3)
+	// Cannot know which vertices, but the construction guarantees at least
+	// one 5-clique exists; verify via brute force.
+	found := false
+	for mask := uint64(0); mask < 1<<20 && !found; mask++ {
+		if onesCount(mask) == 5 && g.IsCliqueMask(mask) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planted clique not found")
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	g := Path(3)
+	a := g.AdjacencyMatrix()
+	want := []uint64{0, 1, 0, 1, 0, 1, 0, 1, 0}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("adjacency = %v", a)
+		}
+	}
+}
+
+func TestMultigraphComponents(t *testing.T) {
+	mg := NewMultigraph(5)
+	mg.AddEdge(0, 1)
+	mg.AddEdge(1, 2)
+	mg.AddEdge(3, 3) // loop: joins nothing
+	if got := mg.Components(nil); got != 3 {
+		t.Fatalf("components = %d, want 3 ({0,1,2}, {3}, {4})", got)
+	}
+	// Exclude the 1-2 edge.
+	inc := []bool{true, false, true}
+	if got := mg.Components(inc); got != 4 {
+		t.Fatalf("components = %d, want 4", got)
+	}
+}
+
+func TestMultigraphMaskCounts(t *testing.T) {
+	mg := NewMultigraph(4)
+	mg.AddEdge(0, 1)
+	mg.AddEdge(0, 1) // parallel
+	mg.AddEdge(2, 2) // loop
+	mg.AddEdge(1, 2)
+	if got := mg.EdgesWithinMask(0b0011); got != 2 {
+		t.Fatalf("within {0,1} = %d, want 2", got)
+	}
+	if got := mg.EdgesWithinMask(0b0100); got != 1 {
+		t.Fatalf("within {2} (loop) = %d, want 1", got)
+	}
+	if got := mg.EdgesBetweenMasks(0b0011, 0b0100); got != 1 {
+		t.Fatalf("between = %d, want 1", got)
+	}
+}
+
+func TestFromGraph(t *testing.T) {
+	mg := FromGraph(Cycle(5))
+	if mg.N() != 5 || mg.M() != 5 {
+		t.Fatalf("FromGraph: n=%d m=%d", mg.N(), mg.M())
+	}
+	if mg.Components(nil) != 1 {
+		t.Fatal("cycle must be connected")
+	}
+}
+
+func TestRandomMultigraphDeterministic(t *testing.T) {
+	a := RandomMultigraph(6, 12, 1)
+	b := RandomMultigraph(6, 12, 1)
+	if a.M() != 12 || b.M() != 12 {
+		t.Fatal("wrong edge count")
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			t.Fatal("same seed must reproduce edges")
+		}
+	}
+}

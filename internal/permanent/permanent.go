@@ -1,0 +1,269 @@
+// Package permanent implements the paper's Theorem 8(2): a Camelot
+// algorithm for the permanent of an n×n integer matrix with proof size
+// and time O*(2^{n/2}). The proof polynomial (Appendix A.5) plugs the
+// bit-sweeping interpolation vector D(x) into half of Ryser's
+// inclusion–exclusion formula; per A = Σ_{i<2^{n/2}} P(i), reconstructed
+// over several primes with the CRT.
+package permanent
+
+import (
+	"fmt"
+	"math/big"
+
+	"camelot/internal/core"
+	"camelot/internal/crt"
+	"camelot/internal/ff"
+)
+
+// Problem is the Camelot permanent problem.
+type Problem struct {
+	a    [][]int64
+	n    int
+	half int // number of D(x)-swept columns
+	phi  int64
+}
+
+var _ core.Problem = (*Problem)(nil)
+
+// NewProblem builds the problem for a square integer matrix.
+func NewProblem(a [][]int64) (*Problem, error) {
+	n := len(a)
+	if n < 2 || n > 40 {
+		return nil, fmt.Errorf("permanent: n = %d out of supported range [2, 40]", n)
+	}
+	phi := int64(1)
+	for _, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("permanent: matrix not square")
+		}
+		for _, v := range row {
+			if v > phi {
+				phi = v
+			}
+			if -v > phi {
+				phi = -v
+			}
+		}
+	}
+	return &Problem{a: a, n: n, half: n / 2, phi: phi}, nil
+}
+
+// Name implements core.Problem.
+func (p *Problem) Name() string { return fmt.Sprintf("permanent(n=%d)", p.n) }
+
+// Width implements core.Problem.
+func (p *Problem) Width() int { return 1 }
+
+// Degree implements core.Problem: Q has total degree <= n + n/2 in its
+// n/2 arguments (n linear row factors plus the sign product), composed
+// with D of degree 2^{n/2}-1.
+func (p *Problem) Degree() int {
+	return (p.n + p.half) * (1<<uint(p.half) - 1)
+}
+
+// MinModulus implements core.Problem.
+func (p *Problem) MinModulus() uint64 {
+	min := uint64(1)<<uint(p.half) + 1
+	if min < 1<<20 {
+		min = 1 << 20
+	}
+	return min
+}
+
+// Bound returns n!·φ^n, an upper bound on |per A|.
+func (p *Problem) Bound() *big.Int {
+	b := new(big.Int).MulRange(1, int64(p.n))
+	b.Mul(b, new(big.Int).Exp(big.NewInt(p.phi), big.NewInt(int64(p.n)), nil))
+	return b
+}
+
+// NumPrimes implements core.Problem: enough primes for the signed CRT
+// range (one extra bit for the sign).
+func (p *Problem) NumPrimes() int {
+	bits := p.Bound().BitLen() + 2
+	per := new(big.Int).SetUint64(p.MinModulus()).BitLen() - 1
+	if per < 1 {
+		per = 1
+	}
+	np := (bits + per - 1) / per
+	if np < 1 {
+		np = 1
+	}
+	return np
+}
+
+// Evaluate implements core.Problem: P(x0) = Q(D(x0)) per eq. (44), in
+// O*(2^{n/2}) via a Gray-code sweep of the enumerated suffix half.
+func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	f := ff.Field{Q: q}
+	n, half := p.n, p.half
+	rest := n - half
+	// z_j = D_j(x0) for the first half of the z variables.
+	phi := f.LagrangeAtZeroBased(1<<uint(half), x0)
+	z := make([]uint64, half)
+	for i, v := range phi {
+		if v == 0 {
+			continue
+		}
+		for j := 0; j < half; j++ {
+			if i&(1<<uint(j)) != 0 {
+				z[j] = f.Add(z[j], v)
+			}
+		}
+	}
+	// Prefix row sums rowP_i = Σ_{j<half} a_ij z_j and prefix sign
+	// Π_{j<half}(1-2z_j).
+	rowP := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		acc := uint64(0)
+		for j := 0; j < half; j++ {
+			acc = f.Add(acc, f.Mul(f.Reduce(p.a[i][j]), z[j]))
+		}
+		rowP[i] = acc
+	}
+	signP := uint64(1)
+	if n%2 == 1 {
+		signP = f.Neg(signP)
+	}
+	for j := 0; j < half; j++ {
+		signP = f.Mul(signP, f.Sub(1, f.Mul(2%f.Q, z[j])))
+	}
+	// Gray-code sweep over the suffix assignments: maintain per-row
+	// suffix sums and the suffix popcount.
+	rowS := make([]uint64, n)
+	total := uint64(0)
+	gray := uint64(0)
+	ones := 0
+	for iter := uint64(0); ; iter++ {
+		// Term for the current suffix.
+		sign := signP
+		if ones%2 == 1 {
+			sign = f.Neg(sign)
+		}
+		prod := sign
+		for i := 0; i < n && prod != 0; i++ {
+			prod = f.Mul(prod, f.Add(rowP[i], rowS[i]))
+		}
+		total = f.Add(total, prod)
+		if iter+1 == 1<<uint(rest) {
+			break
+		}
+		// Advance Gray code: flip bit tz(iter+1).
+		bit := trailingZeros(iter + 1)
+		mask := uint64(1) << uint(bit)
+		col := half + bit
+		if gray&mask == 0 {
+			gray |= mask
+			ones++
+			for i := 0; i < n; i++ {
+				rowS[i] = f.Add(rowS[i], f.Reduce(p.a[i][col]))
+			}
+		} else {
+			gray &^= mask
+			ones--
+			for i := 0; i < n; i++ {
+				rowS[i] = f.Sub(rowS[i], f.Reduce(p.a[i][col]))
+			}
+		}
+	}
+	return []uint64{total}, nil
+}
+
+// Recover reconstructs per A = Σ_{i=0}^{2^{n/2}-1} P(i) with the signed
+// CRT.
+func (p *Problem) Recover(proof *core.Proof) (*big.Int, error) {
+	residues := make([]uint64, len(proof.Primes))
+	for i, q := range proof.Primes {
+		residues[i] = proof.SumRange(q, 0, 0, uint64(1)<<uint(p.half))
+	}
+	v, err := crt.ReconstructSigned(residues, proof.Primes)
+	if err != nil {
+		return nil, fmt.Errorf("permanent: %w", err)
+	}
+	return v, nil
+}
+
+func trailingZeros(x uint64) int {
+	c := 0
+	for x&1 == 0 {
+		x >>= 1
+		c++
+	}
+	return c
+}
+
+// Ryser computes the permanent exactly with Ryser's O(2^n·n) formula and
+// Gray-code updates — the sequential baseline.
+func Ryser(a [][]int64) *big.Int {
+	n := len(a)
+	total := new(big.Int)
+	rowSums := make([]*big.Int, n)
+	for i := range rowSums {
+		rowSums[i] = new(big.Int)
+	}
+	gray := uint64(0)
+	ones := 0
+	term := new(big.Int)
+	for iter := uint64(1); iter < 1<<uint(n); iter++ {
+		bit := trailingZeros(iter)
+		mask := uint64(1) << uint(bit)
+		if gray&mask == 0 {
+			gray |= mask
+			ones++
+			for i := 0; i < n; i++ {
+				rowSums[i].Add(rowSums[i], big.NewInt(a[i][bit]))
+			}
+		} else {
+			gray &^= mask
+			ones--
+			for i := 0; i < n; i++ {
+				rowSums[i].Sub(rowSums[i], big.NewInt(a[i][bit]))
+			}
+		}
+		term.SetInt64(1)
+		for i := 0; i < n; i++ {
+			term.Mul(term, rowSums[i])
+			if term.Sign() == 0 {
+				break
+			}
+		}
+		if (n-ones)%2 == 1 {
+			total.Sub(total, term)
+		} else {
+			total.Add(total, term)
+		}
+	}
+	return total
+}
+
+// Naive computes the permanent by brute-force permutation expansion —
+// O(n!), cross-check for tiny matrices.
+func Naive(a [][]int64) *big.Int {
+	n := len(a)
+	total := new(big.Int)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int, prod *big.Int)
+	rec = func(i int, prod *big.Int) {
+		if prod.Sign() == 0 {
+			// Zero products cannot revive; still must count remaining
+			// permutations as zero contribution — just stop.
+			return
+		}
+		if i == n {
+			total.Add(total, prod)
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			rec(i+1, new(big.Int).Mul(prod, big.NewInt(a[i][j])))
+			used[j] = false
+		}
+	}
+	rec(0, big.NewInt(1))
+	return total
+}

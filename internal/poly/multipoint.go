@@ -1,0 +1,165 @@
+package poly
+
+// Subproduct-tree multipoint evaluation and interpolation (paper §2.2):
+// evaluating or interpolating a degree-d polynomial at d+1 points in
+// O(M(d) log d) field operations. These are the workhorses behind
+// Reed–Solomon encoding (evaluation) and the Gao decoder's first step
+// (interpolation of the received word).
+
+// fastThreshold is the point count below which naive O(d^2) evaluation /
+// Lagrange interpolation is used directly (the tree overhead dominates
+// below it).
+const fastThreshold = 64
+
+// subproductTree holds Π(x - x_i) over binary ranges of the point set.
+// Node k covers the points of its leaves; tree[1] is the full product.
+type subproductTree struct {
+	n    int
+	node [][]uint64 // heap layout, 1-based; leaves are (x - x_i)
+}
+
+// newSubproductTree builds the tree over the given points.
+func (r *Ring) newSubproductTree(points []uint64) *subproductTree {
+	n := len(points)
+	size := nttSize(n)
+	t := &subproductTree{n: n, node: make([][]uint64, 2*size)}
+	for i := 0; i < size; i++ {
+		if i < n {
+			t.node[size+i] = []uint64{r.f.Neg(points[i]), 1}
+		} else {
+			t.node[size+i] = []uint64{1}
+		}
+	}
+	for k := size - 1; k >= 1; k-- {
+		t.node[k] = r.Mul(t.node[2*k], t.node[2*k+1])
+	}
+	return t
+}
+
+// EvalMany evaluates p at every point, in O(M(d) log d) via the subproduct
+// tree for large inputs and Horner per point for small ones.
+func (r *Ring) EvalMany(p []uint64, points []uint64) []uint64 {
+	if len(points) <= fastThreshold || len(p) <= fastThreshold {
+		out := make([]uint64, len(points))
+		for i, x := range points {
+			out[i] = r.Eval(p, x)
+		}
+		return out
+	}
+	t := r.newSubproductTree(points)
+	out := make([]uint64, len(points))
+	r.evalDown(t, 1, p, out, 0, nttSize(len(points)))
+	return out
+}
+
+// evalDown reduces p modulo the subtree products, descending to leaves.
+// span is the leaf count under node k; off the leaf offset.
+func (r *Ring) evalDown(t *subproductTree, k int, p []uint64, out []uint64, off, span int) {
+	if off >= t.n {
+		return
+	}
+	_, rem := r.DivMod(p, t.node[k])
+	if span == 1 {
+		if len(rem) == 0 {
+			out[off] = 0
+		} else {
+			out[off] = rem[0]
+		}
+		return
+	}
+	// Below a size threshold, finish with Horner: cheaper than recursion.
+	if span <= fastThreshold {
+		for i := off; i < off+span && i < t.n; i++ {
+			// Leaf i holds (x - x_i): recover x_i from its constant term.
+			xi := r.f.Neg(t.node[nttSize(t.n)+i][0])
+			out[i] = r.Eval(rem, xi)
+		}
+		return
+	}
+	r.evalDown(t, 2*k, rem, out, off, span/2)
+	r.evalDown(t, 2*k+1, rem, out, off+span/2, span/2)
+}
+
+// Interpolate returns the unique polynomial of degree < len(points) with
+// p(points[i]) = values[i]. Points must be distinct mod q.
+func (r *Ring) Interpolate(points, values []uint64) []uint64 {
+	if len(points) != len(values) {
+		panic("poly: interpolation point/value length mismatch")
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	if len(points) <= fastThreshold {
+		return r.interpolateLagrange(points, values)
+	}
+	t := r.newSubproductTree(points)
+	m := t.node[1] // Π (x - x_i)
+	dm := r.Derivative(m)
+	denom := r.EvalMany(dm, points)
+	r.f.BatchInv(denom)
+	coeffs := make([]uint64, len(points))
+	for i := range coeffs {
+		coeffs[i] = r.f.Mul(values[i], denom[i])
+	}
+	return Trim(r.combineUp(t, 1, coeffs, 0, nttSize(len(points))))
+}
+
+// combineUp computes Σ_i c_i Π_{j≠i} (x - x_j) over the subtree.
+func (r *Ring) combineUp(t *subproductTree, k int, c []uint64, off, span int) []uint64 {
+	if off >= t.n {
+		return nil
+	}
+	if span == 1 {
+		return []uint64{c[off]}
+	}
+	left := r.combineUp(t, 2*k, c, off, span/2)
+	right := r.combineUp(t, 2*k+1, c, off+span/2, span/2)
+	// left * rightProduct + right * leftProduct
+	lp := r.Mul(left, t.node[2*k+1])
+	rp := r.Mul(right, t.node[2*k])
+	return r.Add(lp, rp)
+}
+
+// interpolateLagrange is the quadratic fallback for small point sets.
+func (r *Ring) interpolateLagrange(points, values []uint64) []uint64 {
+	n := len(points)
+	// master = Π (x - x_i)
+	master := []uint64{1}
+	for _, x := range points {
+		master = r.Mul(master, []uint64{r.f.Neg(x), 1})
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		// numer_i = master / (x - x_i), denom_i = numer_i(x_i)
+		numer, rem := r.DivMod(master, []uint64{r.f.Neg(points[i]), 1})
+		if len(rem) != 0 {
+			panic("poly: interpolation points not distinct")
+		}
+		d := r.Eval(numer, points[i])
+		if d == 0 {
+			panic("poly: interpolation points not distinct mod q")
+		}
+		c := r.f.Mul(values[i], r.f.Inv(d))
+		for j, v := range numer {
+			out[j] = r.f.Add(out[j], r.f.Mul(c, v))
+		}
+	}
+	return Trim(out)
+}
+
+// ProductFromRoots returns Π_i (x - roots[i]) — the G0 precomputation of
+// the Gao decoder (paper §2.3).
+func (r *Ring) ProductFromRoots(roots []uint64) []uint64 {
+	return r.productRange(roots, 0, len(roots))
+}
+
+func (r *Ring) productRange(roots []uint64, lo, hi int) []uint64 {
+	switch hi - lo {
+	case 0:
+		return []uint64{1}
+	case 1:
+		return []uint64{r.f.Neg(roots[lo]), 1}
+	}
+	mid := (lo + hi) / 2
+	return r.Mul(r.productRange(roots, lo, mid), r.productRange(roots, mid, hi))
+}

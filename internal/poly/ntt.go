@@ -1,0 +1,82 @@
+package poly
+
+// Number-theoretic transform over NTT-friendly prime fields, used to give
+// the O(d log d) multiplication of paper §2.2 for the large encodes and
+// decodes (proof codewords routinely have thousands of symbols).
+
+// nttSize returns the smallest power of two >= n.
+func nttSize(n int) int {
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// mulNTT multiplies a and b via forward transforms of size n (a power of
+// two that both the product and the field's two-adicity accommodate).
+func (r *Ring) mulNTT(a, b []uint64, n int) []uint64 {
+	fa := make([]uint64, n)
+	fb := make([]uint64, n)
+	copy(fa, a)
+	copy(fb, b)
+	w := r.rootOfOrder(n)
+	r.ntt(fa, w)
+	r.ntt(fb, w)
+	for i := range fa {
+		fa[i] = r.f.Mul(fa[i], fb[i])
+	}
+	r.ntt(fa, r.f.Inv(w)) // inverse transform with w^{-1} ...
+	invN := r.f.Inv(uint64(n) % r.f.Q)
+	for i := range fa {
+		fa[i] = r.f.Mul(fa[i], invN) // ... plus 1/n scaling
+	}
+	return fa[:len(a)+len(b)-1]
+}
+
+// rootOfOrder returns a primitive n-th root of unity (n a power of two
+// within the field's two-adicity).
+func (r *Ring) rootOfOrder(n int) uint64 {
+	w := r.root
+	size := 1 << uint(r.twoAdicity)
+	for size > n {
+		w = r.f.Mul(w, w)
+		size >>= 1
+	}
+	return w
+}
+
+// ntt performs an in-place iterative radix-2 Cooley–Tukey transform of
+// a (length a power of two) with the given primitive root of unity.
+func (r *Ring) ntt(a []uint64, w uint64) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		// wl = w^(n/length): primitive length-th root.
+		wl := w
+		for m := n; m > length; m >>= 1 {
+			wl = r.f.Mul(wl, wl)
+		}
+		for start := 0; start < n; start += length {
+			wj := uint64(1)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				v := r.f.Mul(a[start+j+half], wj)
+				a[start+j] = r.f.Add(u, v)
+				a[start+j+half] = r.f.Sub(u, v)
+				wj = r.f.Mul(wj, wl)
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package poly implements dense univariate polynomial arithmetic over a
+// prime field Z_q: the "fast arithmetic toolbox" of paper §2.2. It provides
+// multiplication (naive, Karatsuba, and NTT when the modulus permits),
+// division with remainder, the truncated extended Euclidean algorithm used
+// by the Gao Reed–Solomon decoder, and subproduct-tree multipoint
+// evaluation and interpolation.
+//
+// A polynomial is a coefficient slice c with c[j] the coefficient of x^j.
+// The zero polynomial is the empty (or all-zero) slice. Operations treat
+// inputs as immutable and return fresh slices.
+package poly
+
+import (
+	"fmt"
+
+	"camelot/internal/ff"
+)
+
+// nttThreshold is the product size above which NTT multiplication is
+// attempted; below it Karatsuba/naive win on constants.
+const nttThreshold = 256
+
+// karatsubaThreshold is the operand size below which naive multiplication
+// is used inside the Karatsuba recursion.
+const karatsubaThreshold = 32
+
+// Ring provides polynomial arithmetic over a fixed prime field.
+// Construct with NewRing. The zero value is unusable.
+type Ring struct {
+	f ff.Field
+	// twoAdicity is the largest k with 2^k | q-1; it bounds NTT sizes.
+	twoAdicity int
+	// root is a primitive 2^twoAdicity-th root of unity, 0 if unavailable.
+	root uint64
+}
+
+// NewRing returns a polynomial ring over Z_q. If q-1 has enough powers of
+// two, multiplications transparently use the number-theoretic transform.
+func NewRing(f ff.Field) *Ring {
+	r := &Ring{f: f}
+	m := f.Q - 1
+	for m%2 == 0 {
+		m /= 2
+		r.twoAdicity++
+	}
+	if r.twoAdicity >= 2 {
+		if g, err := generator(f); err == nil {
+			r.root = f.Exp(g, (f.Q-1)>>uint(r.twoAdicity))
+		}
+	}
+	return r
+}
+
+// generator finds a multiplicative generator of Z_q^*.
+func generator(f ff.Field) (uint64, error) {
+	phi := f.Q - 1
+	var factors []uint64
+	m := phi
+	for p := uint64(2); p*p <= m; p++ {
+		if m%p == 0 {
+			factors = append(factors, p)
+			for m%p == 0 {
+				m /= p
+			}
+		}
+	}
+	if m > 1 {
+		factors = append(factors, m)
+	}
+	for g := uint64(2); g < f.Q; g++ {
+		ok := true
+		for _, p := range factors {
+			if f.Exp(g, phi/p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("poly: no generator mod %d", f.Q)
+}
+
+// Field returns the coefficient field.
+func (r *Ring) Field() ff.Field { return r.f }
+
+// Trim removes trailing zero coefficients, returning the canonical
+// representation (possibly an empty slice for the zero polynomial).
+func Trim(p []uint64) []uint64 {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func Degree(p []uint64) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether a and b represent the same polynomial.
+func Equal(a, b []uint64) bool {
+	a, b = Trim(a), Trim(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a+b.
+func (r *Ring) Add(a, b []uint64) []uint64 {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a))
+	copy(out, a)
+	for i := range b {
+		out[i] = r.f.Add(out[i], b[i])
+	}
+	return Trim(out)
+}
+
+// Sub returns a-b.
+func (r *Ring) Sub(a, b []uint64) []uint64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]uint64, n)
+	copy(out, a)
+	for i := range b {
+		out[i] = r.f.Sub(out[i], b[i])
+	}
+	return Trim(out)
+}
+
+// Scale returns c*a for a scalar c.
+func (r *Ring) Scale(a []uint64, c uint64) []uint64 {
+	if c == 0 {
+		return nil
+	}
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = r.f.Mul(a[i], c)
+	}
+	return Trim(out)
+}
+
+// MulXn returns a * x^n (shift by n).
+func (r *Ring) MulXn(a []uint64, n int) []uint64 {
+	a = Trim(a)
+	if len(a) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(a)+n)
+	copy(out[n:], a)
+	return out
+}
+
+// Mul returns a*b, dispatching on size: naive for tiny operands,
+// Karatsuba in the mid range, NTT for large products when the modulus
+// supports a big enough transform.
+func (r *Ring) Mul(a, b []uint64) []uint64 {
+	a, b = Trim(a), Trim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	if outLen >= nttThreshold && r.root != 0 {
+		if n := nttSize(outLen); n <= 1<<uint(r.twoAdicity) {
+			return Trim(r.mulNTT(a, b, n))
+		}
+	}
+	if len(a) <= karatsubaThreshold || len(b) <= karatsubaThreshold {
+		return Trim(r.mulNaive(a, b))
+	}
+	return Trim(r.mulKaratsuba(a, b))
+}
+
+// mulNaive is the schoolbook product.
+func (r *Ring) mulNaive(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] = r.f.Add(out[i+j], r.f.Mul(ai, bj))
+		}
+	}
+	return out
+}
+
+// mulKaratsuba implements the classic three-multiplication recursion.
+func (r *Ring) mulKaratsuba(a, b []uint64) []uint64 {
+	if len(a) <= karatsubaThreshold || len(b) <= karatsubaThreshold {
+		return r.mulNaive(a, b)
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	m /= 2
+	a0, a1 := splitAt(a, m), highAt(a, m)
+	b0, b1 := splitAt(b, m), highAt(b, m)
+	z0 := r.mulKaratsuba(a0, b0)
+	z2 := []uint64(nil)
+	if len(a1) > 0 && len(b1) > 0 {
+		z2 = r.mulKaratsuba(a1, b1)
+	}
+	sa := r.Add(a0, a1)
+	sb := r.Add(b0, b1)
+	var z1 []uint64
+	if len(sa) > 0 && len(sb) > 0 {
+		z1 = r.mulKaratsuba(sa, sb)
+	}
+	z1 = r.Sub(r.Sub(z1, z0), z2)
+	out := make([]uint64, len(a)+len(b)-1)
+	addInto(r.f, out, z0, 0)
+	addInto(r.f, out, z1, m)
+	addInto(r.f, out, z2, 2*m)
+	return out
+}
+
+func splitAt(p []uint64, m int) []uint64 {
+	if len(p) <= m {
+		return Trim(p)
+	}
+	return Trim(p[:m])
+}
+
+func highAt(p []uint64, m int) []uint64 {
+	if len(p) <= m {
+		return nil
+	}
+	return Trim(p[m:])
+}
+
+func addInto(f ff.Field, dst, src []uint64, off int) {
+	for i, v := range src {
+		dst[off+i] = f.Add(dst[off+i], v)
+	}
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (r *Ring) Eval(p []uint64, x uint64) uint64 { return r.f.Horner(p, x) }
+
+// Derivative returns p'.
+func (r *Ring) Derivative(p []uint64) []uint64 {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make([]uint64, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = r.f.Mul(p[i], uint64(i)%r.f.Q)
+	}
+	return Trim(out)
+}
+
+// DivMod returns quotient and remainder of a / b. Panics if b is zero
+// (a programming error in this codebase: divisors are always nonzero
+// subproduct or Euclidean polynomials).
+func (r *Ring) DivMod(a, b []uint64) (q, rem []uint64) {
+	b = Trim(b)
+	if len(b) == 0 {
+		panic("poly: division by zero polynomial")
+	}
+	a = Trim(a)
+	if len(a) < len(b) {
+		return nil, a
+	}
+	rem = make([]uint64, len(a))
+	copy(rem, a)
+	q = make([]uint64, len(a)-len(b)+1)
+	invLead := r.f.Inv(b[len(b)-1])
+	for i := len(a) - len(b); i >= 0; i-- {
+		c := r.f.Mul(rem[i+len(b)-1], invLead)
+		if c == 0 {
+			continue
+		}
+		q[i] = c
+		for j, bj := range b {
+			rem[i+j] = r.f.Sub(rem[i+j], r.f.Mul(c, bj))
+		}
+	}
+	return Trim(q), Trim(rem)
+}
+
+// GCD returns the monic greatest common divisor of a and b.
+func (r *Ring) GCD(a, b []uint64) []uint64 {
+	a, b = Trim(a), Trim(b)
+	for len(b) > 0 {
+		_, rem := r.DivMod(a, b)
+		a, b = b, rem
+	}
+	return r.Monic(a)
+}
+
+// Monic scales p so its leading coefficient is one.
+func (r *Ring) Monic(p []uint64) []uint64 {
+	p = Trim(p)
+	if len(p) == 0 {
+		return nil
+	}
+	lead := p[len(p)-1]
+	if lead == 1 {
+		return p
+	}
+	return r.Scale(p, r.f.Inv(lead))
+}
+
+// PartialXGCD runs the extended Euclidean algorithm on (a, b) and stops as
+// soon as the remainder g has degree < stopDeg, returning (g, u, v) with
+// u*a + v*b = g. This is exactly the half-way stop the Gao decoder needs
+// (paper §2.3): a = G0, b = G1, stopDeg = (e+d+1)/2.
+func (r *Ring) PartialXGCD(a, b []uint64, stopDeg int) (g, u, v []uint64) {
+	// Invariants: r0 = u0*a + v0*b, r1 = u1*a + v1*b. The "current
+	// remainder" of the Euclidean sequence is r1; we stop at the first
+	// remainder with degree < stopDeg (which may be the zero polynomial —
+	// e.g. decoding a received word close to the zero codeword).
+	r0, r1 := Trim(a), Trim(b)
+	u0, u1 := []uint64{1}, []uint64(nil)
+	v0, v1 := []uint64(nil), []uint64{1}
+	for Degree(r1) >= stopDeg {
+		q, rem := r.DivMod(r0, r1)
+		r0, r1 = r1, rem
+		u0, u1 = u1, r.Sub(u0, r.Mul(q, u1))
+		v0, v1 = v1, r.Sub(v0, r.Mul(q, v1))
+	}
+	return r1, u1, v1
+}

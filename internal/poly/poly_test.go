@@ -1,0 +1,291 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"camelot/internal/ff"
+)
+
+// testRing returns a ring over an NTT-friendly prime (large two-adicity).
+func testRing(t testing.TB) *Ring {
+	t.Helper()
+	q, _, err := ff.NTTPrime(1<<20, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRing(ff.Must(q))
+}
+
+// plainRing returns a ring over a prime with tiny two-adicity, forcing the
+// Karatsuba path even for large products.
+func plainRing(t testing.TB) *Ring {
+	t.Helper()
+	// 1000003 - 1 = 2 * 3 * 166667: two-adicity 1, no NTT.
+	return NewRing(ff.Must(1000003))
+}
+
+func randPoly(rng *rand.Rand, f ff.Field, deg int) []uint64 {
+	p := make([]uint64, deg+1)
+	for i := range p {
+		p[i] = rng.Uint64() % f.Q
+	}
+	p[deg] = 1 + rng.Uint64()%(f.Q-1) // ensure exact degree
+	return p
+}
+
+func TestDegreeAndTrim(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []uint64
+		deg  int
+	}{
+		{"nil", nil, -1},
+		{"zeros", []uint64{0, 0, 0}, -1},
+		{"constant", []uint64{5}, 0},
+		{"padded", []uint64{1, 2, 0, 0}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Degree(tt.in); got != tt.deg {
+				t.Errorf("Degree = %d, want %d", got, tt.deg)
+			}
+			if got := Trim(tt.in); Degree(got) != tt.deg || (len(got) > 0 && got[len(got)-1] == 0) {
+				t.Errorf("Trim not canonical: %v", got)
+			}
+		})
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	rings := map[string]*Ring{"ntt": testRing(t), "plain": plainRing(t)}
+	sizes := [][2]int{{1, 1}, {3, 7}, {31, 33}, {100, 90}, {300, 5}, {512, 512}, {1000, 777}}
+	for name, r := range rings {
+		rng := rand.New(rand.NewSource(42))
+		for _, sz := range sizes {
+			a := randPoly(rng, r.f, sz[0])
+			b := randPoly(rng, r.f, sz[1])
+			got := r.Mul(a, b)
+			want := Trim(r.mulNaive(a, b))
+			if !Equal(got, want) {
+				t.Fatalf("%s: Mul mismatch at sizes %v", name, sz)
+			}
+		}
+	}
+}
+
+func TestMulZero(t *testing.T) {
+	r := testRing(t)
+	if got := r.Mul(nil, []uint64{1, 2, 3}); len(got) != 0 {
+		t.Fatalf("0 * p = %v, want zero", got)
+	}
+}
+
+func TestMulPropertyCommutative(t *testing.T) {
+	r := plainRing(t)
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	prop := func(da, db uint8) bool {
+		a := randPoly(rng, r.f, int(da%60)+1)
+		b := randPoly(rng, r.f, int(db%60)+1)
+		return Equal(r.Mul(a, b), r.Mul(b, a))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivMod(t *testing.T) {
+	r := testRing(t)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		a := randPoly(rng, r.f, 5+rng.Intn(200))
+		b := randPoly(rng, r.f, 1+rng.Intn(50))
+		q, rem := r.DivMod(a, b)
+		if Degree(rem) >= Degree(b) {
+			t.Fatalf("remainder degree %d >= divisor degree %d", Degree(rem), Degree(b))
+		}
+		back := r.Add(r.Mul(q, b), rem)
+		if !Equal(back, a) {
+			t.Fatalf("q*b + r != a (trial %d)", trial)
+		}
+	}
+}
+
+func TestDivModSmallerDividend(t *testing.T) {
+	r := testRing(t)
+	q, rem := r.DivMod([]uint64{1, 2}, []uint64{0, 0, 1})
+	if len(q) != 0 || !Equal(rem, []uint64{1, 2}) {
+		t.Fatalf("got q=%v rem=%v", q, rem)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	r := testRing(t)
+	rng := rand.New(rand.NewSource(11))
+	g := randPoly(rng, r.f, 7)
+	a := r.Mul(g, randPoly(rng, r.f, 13))
+	b := r.Mul(g, randPoly(rng, r.f, 9))
+	got := r.GCD(a, b)
+	// gcd must divide both and be divisible by g (up to possibly larger
+	// common factors; check divisibility both ways where it must hold).
+	if _, rem := r.DivMod(a, got); len(rem) != 0 {
+		t.Fatal("gcd does not divide a")
+	}
+	if _, rem := r.DivMod(b, got); len(rem) != 0 {
+		t.Fatal("gcd does not divide b")
+	}
+	if _, rem := r.DivMod(got, r.Monic(g)); len(rem) != 0 {
+		t.Fatal("g does not divide gcd")
+	}
+}
+
+func TestPartialXGCDInvariant(t *testing.T) {
+	r := testRing(t)
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		a := randPoly(rng, r.f, 40)
+		b := randPoly(rng, r.f, 35)
+		stop := rng.Intn(30)
+		g, u, v := r.PartialXGCD(a, b, stop)
+		if Degree(g) >= stop && Degree(r.GCD(a, b)) < stop {
+			t.Fatalf("stopped with degree %d >= stop %d", Degree(g), stop)
+		}
+		lhs := r.Add(r.Mul(u, a), r.Mul(v, b))
+		if !Equal(lhs, g) {
+			t.Fatalf("u*a + v*b != g (trial %d)", trial)
+		}
+	}
+}
+
+func TestEvalManyMatchesHorner(t *testing.T) {
+	for name, r := range map[string]*Ring{"ntt": testRing(t), "plain": plainRing(t)} {
+		rng := rand.New(rand.NewSource(5))
+		p := randPoly(rng, r.f, 300)
+		points := make([]uint64, 400)
+		for i := range points {
+			points[i] = uint64(i) * 7919 % r.f.Q
+		}
+		got := r.EvalMany(p, points)
+		for i, x := range points {
+			if want := r.Eval(p, x); got[i] != want {
+				t.Fatalf("%s: EvalMany[%d] = %d, want %d", name, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestInterpolateRoundTrip(t *testing.T) {
+	for name, r := range map[string]*Ring{"ntt": testRing(t), "plain": plainRing(t)} {
+		rng := rand.New(rand.NewSource(9))
+		for _, n := range []int{1, 2, 17, 64, 65, 200, 513} {
+			p := randPoly(rng, r.f, n-1)
+			points := make([]uint64, n)
+			for i := range points {
+				points[i] = uint64(i)
+			}
+			values := r.EvalMany(p, points)
+			got := r.Interpolate(points, values)
+			if !Equal(got, p) {
+				t.Fatalf("%s: interpolate(n=%d) did not round-trip", name, n)
+			}
+		}
+	}
+}
+
+func TestInterpolateConstantAndLinear(t *testing.T) {
+	r := testRing(t)
+	got := r.Interpolate([]uint64{5}, []uint64{42})
+	if !Equal(got, []uint64{42}) {
+		t.Fatalf("constant interpolation = %v", got)
+	}
+	// Through (0, 1) and (1, 3): p(x) = 1 + 2x.
+	got = r.Interpolate([]uint64{0, 1}, []uint64{1, 3})
+	if !Equal(got, []uint64{1, 2}) {
+		t.Fatalf("linear interpolation = %v", got)
+	}
+}
+
+func TestProductFromRoots(t *testing.T) {
+	r := testRing(t)
+	roots := []uint64{1, 2, 3}
+	// (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+	got := r.ProductFromRoots(roots)
+	want := []uint64{r.f.Reduce(-6), 11, r.f.Reduce(-6), 1}
+	if !Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for _, x := range roots {
+		if r.Eval(got, x) != 0 {
+			t.Fatalf("root %d not a root", x)
+		}
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	r := testRing(t)
+	// d/dx (1 + 2x + 3x^2) = 2 + 6x
+	got := r.Derivative([]uint64{1, 2, 3})
+	if !Equal(got, []uint64{2, 6}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := r.Derivative([]uint64{7}); len(got) != 0 {
+		t.Fatalf("derivative of constant = %v", got)
+	}
+}
+
+func TestNTTRoundTripProperty(t *testing.T) {
+	r := testRing(t)
+	if r.root == 0 {
+		t.Skip("ring lacks NTT support")
+	}
+	rng := rand.New(rand.NewSource(13))
+	a := randPoly(rng, r.f, 700)
+	b := randPoly(rng, r.f, 900)
+	got := r.mulNTT(a, b, nttSize(len(a)+len(b)-1))
+	want := r.mulNaive(a, b)
+	if !Equal(got, want) {
+		t.Fatal("NTT product differs from naive")
+	}
+}
+
+func BenchmarkMulNTT4096(b *testing.B) {
+	r := testRing(b)
+	rng := rand.New(rand.NewSource(1))
+	p := randPoly(rng, r.f, 2047)
+	q := randPoly(rng, r.f, 2047)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Mul(p, q)
+	}
+}
+
+func BenchmarkEvalMany2048(b *testing.B) {
+	r := testRing(b)
+	rng := rand.New(rand.NewSource(1))
+	p := randPoly(rng, r.f, 2047)
+	points := make([]uint64, 2048)
+	for i := range points {
+		points[i] = uint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.EvalMany(p, points)
+	}
+}
+
+func BenchmarkInterpolate2048(b *testing.B) {
+	r := testRing(b)
+	rng := rand.New(rand.NewSource(1))
+	p := randPoly(rng, r.f, 2047)
+	points := make([]uint64, 2048)
+	for i := range points {
+		points[i] = uint64(i)
+	}
+	values := r.EvalMany(p, points)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Interpolate(points, values)
+	}
+}

@@ -1,0 +1,145 @@
+// Package rs implements the nonsystematic Reed–Solomon code of paper §2.3:
+// a message (p_0,...,p_d) is encoded as the evaluations of its polynomial
+// at e distinct field points, and decoded — in the presence of up to
+// ⌊(e-d-1)/2⌋ corrupted symbols — with Gao's extended-Euclidean decoder.
+//
+// The decoder additionally reports *which* positions were corrupted, which
+// is how a Camelot node identifies the Knights that Morgana enchanted
+// (paper §1.3, step 2).
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"camelot/internal/ff"
+	"camelot/internal/poly"
+)
+
+// ErrDecodeFailure is returned when the received word is farther from the
+// code than the unique-decoding radius, so no codeword can be recovered.
+var ErrDecodeFailure = errors.New("rs: received word beyond unique-decoding radius")
+
+// Code is a Reed–Solomon code of length e = len(Points) for messages of
+// degree at most d (that is, d+1 symbols). Points must be distinct mod q.
+type Code struct {
+	ring   *poly.Ring
+	points []uint64
+	d      int
+	g0     []uint64 // Π (x - x_i), precomputed for decoding
+}
+
+// New constructs a code over the given ring with the given evaluation
+// points and message degree bound d (message length d+1).
+func New(ring *poly.Ring, points []uint64, d int) (*Code, error) {
+	e := len(points)
+	if d < 0 || d+1 > e {
+		return nil, fmt.Errorf("rs: need d+1 <= e, got d=%d e=%d", d, e)
+	}
+	if uint64(e) > ring.Field().Q {
+		return nil, fmt.Errorf("rs: length %d exceeds field size %d", e, ring.Field().Q)
+	}
+	seen := make(map[uint64]struct{}, e)
+	for _, x := range points {
+		xr := x % ring.Field().Q
+		if _, dup := seen[xr]; dup {
+			return nil, fmt.Errorf("rs: duplicate evaluation point %d", x)
+		}
+		seen[xr] = struct{}{}
+	}
+	return &Code{ring: ring, points: points, d: d, g0: ring.ProductFromRoots(points)}, nil
+}
+
+// ConsecutivePoints returns the canonical Camelot point set 0..e-1.
+func ConsecutivePoints(e int) []uint64 {
+	pts := make([]uint64, e)
+	for i := range pts {
+		pts[i] = uint64(i)
+	}
+	return pts
+}
+
+// Length returns the codeword length e.
+func (c *Code) Length() int { return len(c.points) }
+
+// DegreeBound returns the message degree bound d.
+func (c *Code) DegreeBound() int { return c.d }
+
+// Points returns the evaluation points (not a copy; callers must not
+// mutate).
+func (c *Code) Points() []uint64 { return c.points }
+
+// CorrectionRadius returns the number of symbol errors the decoder is
+// guaranteed to correct: ⌊(e-d-1)/2⌋.
+func (c *Code) CorrectionRadius() int { return (len(c.points) - c.d - 1) / 2 }
+
+// Encode evaluates the message polynomial at every code point.
+// The message may have fewer than d+1 symbols (high coefficients zero).
+func (c *Code) Encode(message []uint64) ([]uint64, error) {
+	if len(message) > c.d+1 {
+		return nil, fmt.Errorf("rs: message length %d exceeds d+1 = %d", len(message), c.d+1)
+	}
+	return c.ring.EvalMany(message, c.points), nil
+}
+
+// Decode recovers the message polynomial from a received word, correcting
+// up to CorrectionRadius() corrupted symbols. It returns the message
+// coefficients (length d+1, trailing zeros included), the corrected
+// codeword, and the indices at which the received word disagreed with it.
+//
+// Gao's algorithm (paper §2.3): interpolate G1 through the received word;
+// run the extended Euclidean algorithm on (G0, G1) stopping at degree
+// < (e+d+1)/2; the quotient G/V is the message iff the division is exact.
+func (c *Code) Decode(received []uint64) (message, corrected []uint64, errorLocs []int, err error) {
+	e := len(c.points)
+	if len(received) != e {
+		return nil, nil, nil, fmt.Errorf("rs: received word length %d, want %d", len(received), e)
+	}
+	g1 := c.ring.Interpolate(c.points, received)
+	if poly.Degree(g1) < 0 {
+		// The all-zero word is itself the zero codeword (the Euclidean
+		// recursion below would degenerate on G1 = 0).
+		return make([]uint64, c.d+1), make([]uint64, e), nil, nil
+	}
+	stop := (e + c.d + 1) / 2
+	g, _, v := c.ring.PartialXGCD(c.g0, g1, stop)
+	if poly.Degree(v) < 0 {
+		return nil, nil, nil, fmt.Errorf("%w: degenerate error locator", ErrDecodeFailure)
+	}
+	p, r := c.ring.DivMod(g, v)
+	if len(r) != 0 || poly.Degree(p) > c.d {
+		return nil, nil, nil, ErrDecodeFailure
+	}
+	corrected = c.ring.EvalMany(p, c.points)
+	for i := range corrected {
+		if corrected[i] != received[i]%c.ring.Field().Q {
+			errorLocs = append(errorLocs, i)
+		}
+	}
+	if len(errorLocs) > c.CorrectionRadius() {
+		// The Euclidean stop produced a "codeword" farther away than the
+		// radius — with that many errors uniqueness is void; refuse.
+		return nil, nil, nil, fmt.Errorf("%w: %d errors exceed radius %d",
+			ErrDecodeFailure, len(errorLocs), c.CorrectionRadius())
+	}
+	message = make([]uint64, c.d+1)
+	copy(message, p)
+	return message, corrected, errorLocs, nil
+}
+
+// Verify spot-checks a putative message against an oracle for codeword
+// symbols: it draws one Camelot verification equation (paper eq. (2)) at
+// the given point x0, comparing oracle(x0) with Horner evaluation of the
+// message. A mismatch proves the message is not the oracle's polynomial;
+// agreement is correct with probability >= 1 - d/q for uniform x0.
+func (c *Code) Verify(message []uint64, x0 uint64, oracle func(uint64) (uint64, error)) (bool, error) {
+	want, err := oracle(x0)
+	if err != nil {
+		return false, fmt.Errorf("rs: verification oracle: %w", err)
+	}
+	f := c.ring.Field()
+	return f.Horner(message, x0) == want%f.Q, nil
+}
+
+// Field returns the underlying coefficient field.
+func (c *Code) Field() ff.Field { return c.ring.Field() }

@@ -1,0 +1,333 @@
+package rs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"camelot/internal/ff"
+	"camelot/internal/poly"
+)
+
+func newTestCode(t testing.TB, e, d int) *Code {
+	t.Helper()
+	q, _, err := ff.NTTPrime(uint64(4*e), 4*e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := poly.NewRing(ff.Must(q))
+	c, err := New(ring, ConsecutivePoints(e), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randMessage(rng *rand.Rand, f ff.Field, d int) []uint64 {
+	m := make([]uint64, d+1)
+	for i := range m {
+		m[i] = rng.Uint64() % f.Q
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	ring := poly.NewRing(ff.Must(97))
+	tests := []struct {
+		name   string
+		points []uint64
+		d      int
+		ok     bool
+	}{
+		{"valid", []uint64{0, 1, 2, 3}, 1, true},
+		{"d too large", []uint64{0, 1, 2}, 3, false},
+		{"negative d", []uint64{0, 1}, -1, false},
+		{"duplicate points", []uint64{0, 1, 1}, 1, false},
+		{"duplicate mod q", []uint64{0, 1, 98}, 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(ring, tt.points, tt.d)
+			if (err == nil) != tt.ok {
+				t.Fatalf("New error = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, size := range []struct{ e, d int }{{8, 3}, {64, 20}, {257, 100}, {1024, 500}} {
+		c := newTestCode(t, size.e, size.d)
+		rng := rand.New(rand.NewSource(int64(size.e)))
+		msg := randMessage(rng, c.Field(), size.d)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, corrected, locs, err := c.Decode(cw)
+		if err != nil {
+			t.Fatalf("e=%d d=%d: clean decode failed: %v", size.e, size.d, err)
+		}
+		if len(locs) != 0 {
+			t.Fatalf("clean decode reported errors at %v", locs)
+		}
+		if !poly.Equal(got, msg) {
+			t.Fatal("decoded message differs")
+		}
+		for i := range cw {
+			if corrected[i] != cw[i] {
+				t.Fatal("corrected codeword differs from transmitted")
+			}
+		}
+	}
+}
+
+func TestDecodeAtFullRadius(t *testing.T) {
+	const e, d = 101, 40 // radius = 30
+	c := newTestCode(t, e, d)
+	rng := rand.New(rand.NewSource(99))
+	msg := randMessage(rng, c.Field(), d)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius := c.CorrectionRadius()
+	if radius != 30 {
+		t.Fatalf("radius = %d, want 30", radius)
+	}
+	for _, nerr := range []int{1, 5, radius} {
+		rx := make([]uint64, e)
+		copy(rx, cw)
+		locs := rng.Perm(e)[:nerr]
+		for _, i := range locs {
+			rx[i] = (rx[i] + 1 + rng.Uint64()%(c.Field().Q-1)) % c.Field().Q
+		}
+		got, _, reported, err := c.Decode(rx)
+		if err != nil {
+			t.Fatalf("decode with %d errors failed: %v", nerr, err)
+		}
+		if !poly.Equal(got, msg) {
+			t.Fatalf("decode with %d errors returned wrong message", nerr)
+		}
+		if len(reported) != nerr {
+			t.Fatalf("reported %d error locations, want %d", len(reported), nerr)
+		}
+		want := make(map[int]bool, nerr)
+		for _, i := range locs {
+			want[i] = true
+		}
+		for _, i := range reported {
+			if !want[i] {
+				t.Fatalf("reported spurious error location %d", i)
+			}
+		}
+	}
+}
+
+func TestDecodeBeyondRadiusFails(t *testing.T) {
+	const e, d = 64, 30 // radius 16
+	c := newTestCode(t, e, d)
+	rng := rand.New(rand.NewSource(5))
+	msg := randMessage(rng, c.Field(), d)
+	cw, _ := c.Encode(msg)
+	rx := make([]uint64, e)
+	copy(rx, cw)
+	// Corrupt well beyond the radius with random garbage: decoding must
+	// either error or (with negligible probability) return some codeword —
+	// but never silently return the wrong message as if clean.
+	for _, i := range rng.Perm(e)[:40] {
+		rx[i] = rng.Uint64() % c.Field().Q
+	}
+	got, _, _, err := c.Decode(rx)
+	if err == nil && poly.Equal(got, msg) {
+		t.Fatal("decode claimed success with original message despite 40 corruptions (should be impossible)")
+	}
+	if err != nil && !errors.Is(err, ErrDecodeFailure) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+func TestDecodeShortMessagePadding(t *testing.T) {
+	// Message shorter than d+1: decoder must return padded length d+1.
+	c := newTestCode(t, 32, 10)
+	msg := []uint64{1, 2, 3}
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := c.Decode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 11 {
+		t.Fatalf("decoded length %d, want 11", len(got))
+	}
+	if !poly.Equal(got, msg) {
+		t.Fatal("decoded message differs")
+	}
+}
+
+func TestEncodeRejectsLongMessage(t *testing.T) {
+	c := newTestCode(t, 16, 3)
+	if _, err := c.Encode(make([]uint64, 5)); err == nil {
+		t.Fatal("want error for message longer than d+1")
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	c := newTestCode(t, 16, 3)
+	if _, _, _, err := c.Decode(make([]uint64, 15)); err == nil {
+		t.Fatal("want error for wrong received-word length")
+	}
+}
+
+func TestVerifyAcceptsCorrectRejectsForged(t *testing.T) {
+	const e, d = 128, 60
+	c := newTestCode(t, e, d)
+	rng := rand.New(rand.NewSource(17))
+	msg := randMessage(rng, c.Field(), d)
+	oracle := func(x uint64) (uint64, error) {
+		return c.Field().Horner(msg, x), nil
+	}
+	// Correct proof: always accepted.
+	for trial := 0; trial < 20; trial++ {
+		x0 := rng.Uint64() % c.Field().Q
+		ok, err := c.Verify(msg, x0, oracle)
+		if err != nil || !ok {
+			t.Fatalf("correct proof rejected at x0=%d: %v", x0, err)
+		}
+	}
+	// Forged proof: rejected with probability >= 1 - d/q per trial; over
+	// 30 independent trials a surviving forgery has probability ~(d/q)^30,
+	// far below test flakiness thresholds.
+	forged := make([]uint64, len(msg))
+	copy(forged, msg)
+	forged[7] = c.Field().Add(forged[7], 1)
+	rejected := false
+	for trial := 0; trial < 30; trial++ {
+		x0 := rng.Uint64() % c.Field().Q
+		ok, err := c.Verify(forged, x0, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("forged proof survived 30 verification trials")
+	}
+}
+
+func TestCorrectionRadiusFormula(t *testing.T) {
+	tests := []struct{ e, d, want int }{
+		{10, 9, 0}, {10, 5, 2}, {100, 10, 44}, {3, 0, 1},
+	}
+	for _, tt := range tests {
+		ring := poly.NewRing(ff.Must(257))
+		c, err := New(ring, ConsecutivePoints(tt.e), tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.CorrectionRadius(); got != tt.want {
+			t.Errorf("radius(e=%d,d=%d) = %d, want %d", tt.e, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestPropertyRandomErrorPatterns(t *testing.T) {
+	// Property: for random messages and random error patterns within the
+	// radius, decode always recovers message and exact error locations.
+	const e, d = 80, 25
+	c := newTestCode(t, e, d)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		msg := randMessage(rng, c.Field(), d)
+		cw, _ := c.Encode(msg)
+		nerr := rng.Intn(c.CorrectionRadius() + 1)
+		rx := make([]uint64, e)
+		copy(rx, cw)
+		lset := map[int]bool{}
+		for _, i := range rng.Perm(e)[:nerr] {
+			delta := 1 + rng.Uint64()%(c.Field().Q-1)
+			rx[i] = c.Field().Add(rx[i], delta)
+			lset[i] = true
+		}
+		got, _, locs, err := c.Decode(rx)
+		if err != nil {
+			t.Fatalf("trial %d (%d errors): %v", trial, nerr, err)
+		}
+		if !poly.Equal(got, msg) {
+			t.Fatalf("trial %d: wrong message", trial)
+		}
+		if len(locs) != len(lset) {
+			t.Fatalf("trial %d: reported %d locations, want %d", trial, len(locs), len(lset))
+		}
+		for _, i := range locs {
+			if !lset[i] {
+				t.Fatalf("trial %d: spurious location %d", trial, i)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode1024(b *testing.B) {
+	c := newTestCode(b, 1024, 500)
+	rng := rand.New(rand.NewSource(1))
+	msg := randMessage(rng, c.Field(), 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode1024With100Errors(b *testing.B) {
+	c := newTestCode(b, 1024, 500)
+	rng := rand.New(rand.NewSource(1))
+	msg := randMessage(rng, c.Field(), 500)
+	cw, _ := c.Encode(msg)
+	rx := make([]uint64, len(cw))
+	copy(rx, cw)
+	for _, i := range rng.Perm(len(cw))[:100] {
+		rx[i] = rng.Uint64() % c.Field().Q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.Decode(rx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeZeroCodeword(t *testing.T) {
+	c := newTestCode(t, 32, 10)
+	// All-zero received word: the zero message, no errors.
+	msg, corrected, locs, err := c.Decode(make([]uint64, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Degree(msg) != -1 || len(locs) != 0 {
+		t.Fatalf("zero word: msg=%v locs=%v", msg, locs)
+	}
+	for _, v := range corrected {
+		if v != 0 {
+			t.Fatal("corrected word not zero")
+		}
+	}
+	// Zero codeword with a few corruptions still decodes to zero.
+	rx := make([]uint64, 32)
+	rx[3], rx[17] = 5, 9
+	msg, _, locs, err = c.Decode(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Degree(msg) != -1 {
+		t.Fatalf("corrupted zero word decoded to %v", msg)
+	}
+	if len(locs) != 2 {
+		t.Fatalf("error locations = %v, want 2", locs)
+	}
+}

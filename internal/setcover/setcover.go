@@ -1,0 +1,371 @@
+// Package setcover implements the paper's set-cover counting results:
+// Theorem 9 (number of t-element set covers from a small family, via the
+// inclusion–exclusion proof polynomial of Appendix A.6) and Theorem 10
+// (number of t-element exact covers / set partitions from a family of up
+// to O*(2^{n/2}) sets, via the §7/§8 partitioning template).
+package setcover
+
+import (
+	"fmt"
+	"math/big"
+
+	"camelot/internal/bipoly"
+	"camelot/internal/core"
+	"camelot/internal/crt"
+	"camelot/internal/ff"
+	"camelot/internal/partition"
+	"camelot/internal/yates"
+)
+
+// validateFamily checks the family masks fit the universe and, when
+// forbidEmpty is set, excludes the empty set (degenerate for exact
+// covers, paper footnote 20).
+func validateFamily(family []uint64, n int, forbidEmpty bool) error {
+	if n < 1 || n > 62 {
+		return fmt.Errorf("setcover: universe size %d out of range [1, 62]", n)
+	}
+	full := uint64(1)<<uint(n) - 1
+	for i, x := range family {
+		if x&^full != 0 {
+			return fmt.Errorf("setcover: set %d (%b) leaves the universe", i, x)
+		}
+		if forbidEmpty && x == 0 {
+			return fmt.Errorf("setcover: set %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// --- Theorem 10: exact covers via the partitioning template -----------------
+
+// ExactCoverProblem counts ordered t-tuples (X_1..X_t) of family members
+// that partition the universe (each element covered exactly once). The
+// number of unordered set partitions is the tuple count divided by t!.
+type ExactCoverProblem struct {
+	family []uint64
+	n, t   int
+	split  partition.Split
+}
+
+var _ core.Problem = (*ExactCoverProblem)(nil)
+
+// NewExactCoverProblem builds the Theorem 10 Camelot problem.
+func NewExactCoverProblem(family []uint64, n, t int) (*ExactCoverProblem, error) {
+	if err := validateFamily(family, n, true); err != nil {
+		return nil, err
+	}
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("setcover: t = %d out of range [1, %d]", t, n)
+	}
+	return &ExactCoverProblem{family: family, n: n, t: t, split: partition.Balanced(n)}, nil
+}
+
+// Name implements core.Problem.
+func (p *ExactCoverProblem) Name() string {
+	return fmt.Sprintf("exact-covers(n=%d,|F|=%d,t=%d)", p.n, len(p.family), p.t)
+}
+
+// Width implements core.Problem.
+func (p *ExactCoverProblem) Width() int { return 1 }
+
+// Degree implements core.Problem: |B|·2^{|B|-1} per §7.2.
+func (p *ExactCoverProblem) Degree() int { return p.split.Degree() }
+
+// MinModulus implements core.Problem: above the proof degree, floored
+// at 2^20 to keep the CRT prime count low.
+func (p *ExactCoverProblem) MinModulus() uint64 {
+	min := uint64(p.split.Degree()) + 2
+	if min < 1<<20 {
+		min = 1 << 20
+	}
+	return min
+}
+
+// NumPrimes implements core.Problem: tuple count <= |F|^t.
+func (p *ExactCoverProblem) NumPrimes() int {
+	bound := new(big.Int).Exp(big.NewInt(int64(len(p.family))+1), big.NewInt(int64(p.t)), nil)
+	return numPrimesFor(bound, p.MinModulus())
+}
+
+// nodeG computes the §8.2 node function: scatter every family set into
+// g0[X∩E] with its bivariate weight and Kronecker x0-power, then a zeta
+// transform over the E-lattice. Time O*(2^{|E|} + |F|).
+func (p *ExactCoverProblem) nodeG(f ff.Field, x0 uint64) []bipoly.Poly {
+	ring := p.split.Ring(f)
+	ne := len(p.split.E)
+	eFull := uint64(1)<<uint(ne) - 1
+	xp := p.split.NewXPowers(f, x0)
+	g := make([]bipoly.Poly, 1<<uint(ne))
+	for _, x := range p.family {
+		eMask := x & eFull
+		bMask := x >> uint(ne)
+		mono := ring.Monomial(popcount(eMask), popcount(bMask), xp.ForMask(bMask))
+		g[eMask] = ring.AddInPlace(g[eMask], mono)
+	}
+	yates.Zeta(ne, g, ring.AddInPlace)
+	return g
+}
+
+// Evaluate implements core.Problem.
+func (p *ExactCoverProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	f := ff.Field{Q: q}
+	g := p.nodeG(f, x0)
+	vals, err := p.split.EvaluateAll(p.split.Ring(f), g, p.t)
+	if err != nil {
+		return nil, err
+	}
+	return []uint64{vals[p.t-1]}, nil
+}
+
+// RecoverTuples extracts the ordered-tuple count: it is the coefficient
+// p_{2^{|B|}-1} of the decoded proof, CRT'd over the primes.
+func (p *ExactCoverProblem) RecoverTuples(proof *core.Proof) (*big.Int, error) {
+	idx := p.split.TargetIndex()
+	residues := make([]uint64, len(proof.Primes))
+	for i, q := range proof.Primes {
+		residues[i] = proof.Coeffs[q][0][idx]
+	}
+	return crt.Reconstruct(residues, proof.Primes)
+}
+
+// RecoverPartitions divides the tuple count by t!.
+func (p *ExactCoverProblem) RecoverPartitions(proof *core.Proof) (*big.Int, error) {
+	tuples, err := p.RecoverTuples(proof)
+	if err != nil {
+		return nil, err
+	}
+	fact := new(big.Int).MulRange(1, int64(p.t))
+	quo, rem := new(big.Int).QuoRem(tuples, fact, new(big.Int))
+	if rem.Sign() != 0 {
+		return nil, fmt.Errorf("setcover: tuple count %v not divisible by %d! — proof inconsistent", tuples, p.t)
+	}
+	return quo, nil
+}
+
+// --- Theorem 9: covers via inclusion–exclusion (Appendix A.6) ---------------
+
+// CoverProblem counts ordered t-tuples (X_1..X_t) of family members whose
+// union is the universe (elements may be covered repeatedly). The proof
+// polynomial is P(x) = F_t(D(x)) of eq. (45)/(46): D(x) sweeps the
+// Boolean cube of the first half of the inclusion–exclusion variables.
+type CoverProblem struct {
+	family []uint64
+	n, t   int
+	// n1 is the number of D(x)-interpolated variables (2^{n1} grid);
+	// evaluation is self-contained, so no per-prime state is cached.
+	n1, n2 int
+}
+
+var _ core.Problem = (*CoverProblem)(nil)
+
+// NewCoverProblem builds the Theorem 9 Camelot problem.
+func NewCoverProblem(family []uint64, n, t int) (*CoverProblem, error) {
+	if err := validateFamily(family, n, false); err != nil {
+		return nil, err
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("setcover: t = %d must be positive", t)
+	}
+	n1 := (n + 1) / 2
+	return &CoverProblem{family: family, n: n, t: t, n1: n1, n2: n - n1}, nil
+}
+
+// Name implements core.Problem.
+func (p *CoverProblem) Name() string {
+	return fmt.Sprintf("covers(n=%d,|F|=%d,t=%d)", p.n, len(p.family), p.t)
+}
+
+// Width implements core.Problem.
+func (p *CoverProblem) Width() int { return 1 }
+
+// Degree implements core.Problem: deg D_j <= 2^{n1}-1 composed with the
+// total degree (1+t)·n1 of F_t in its n1 arguments (Appendix A.6).
+func (p *CoverProblem) Degree() int {
+	return (1<<uint(p.n1) - 1) * (1 + p.t) * p.n1
+}
+
+// MinModulus implements core.Problem: the Lagrange grid needs q > 2^{n1};
+// the 2^20 floor keeps the CRT prime count low.
+func (p *CoverProblem) MinModulus() uint64 {
+	min := uint64(1)<<uint(p.n1) + 1
+	if min < 1<<20 {
+		min = 1 << 20
+	}
+	return min
+}
+
+// NumPrimes implements core.Problem: cover count <= |F|^t.
+func (p *CoverProblem) NumPrimes() int {
+	bound := new(big.Int).Exp(big.NewInt(int64(len(p.family))+1), big.NewInt(int64(p.t)), nil)
+	return numPrimesFor(bound, p.MinModulus())
+}
+
+// Evaluate implements core.Problem: P(x0) = F_t(D(x0)) per eq. (45).
+func (p *CoverProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	f := ff.Field{Q: q}
+	// D_j(x0) = Σ_{i: bit j of i set} Φ_i(x0) over the grid 0..2^{n1}-1.
+	phi := f.LagrangeAtZeroBased(1<<uint(p.n1), x0)
+	y := make([]uint64, p.n)
+	for i, v := range phi {
+		if v == 0 {
+			continue
+		}
+		for j := 0; j < p.n1; j++ {
+			if i&(1<<uint(j)) != 0 {
+				y[j] = f.Add(y[j], v)
+			}
+		}
+	}
+	total := uint64(0)
+	for suffix := uint64(0); suffix < 1<<uint(p.n2); suffix++ {
+		for j := 0; j < p.n2; j++ {
+			y[p.n1+j] = (suffix >> uint(j)) & 1
+		}
+		// sign = (-1)^n Π_j (1-2y_j)
+		sign := uint64(1)
+		if p.n%2 == 1 {
+			sign = f.Neg(sign)
+		}
+		for j := 0; j < p.n; j++ {
+			sign = f.Mul(sign, f.Sub(1, f.Mul(2%f.Q, y[j])))
+		}
+		if sign == 0 {
+			continue
+		}
+		// inner = Σ_{X∈F} Π_{j∈X} y_j
+		inner := uint64(0)
+		for _, x := range p.family {
+			prod := uint64(1)
+			for m := x; m != 0 && prod != 0; {
+				j := trailingZeros(m)
+				m &= m - 1
+				prod = f.Mul(prod, y[j])
+			}
+			inner = f.Add(inner, prod)
+		}
+		total = f.Add(total, f.Mul(sign, f.Exp(inner, uint64(p.t))))
+	}
+	return []uint64{total}, nil
+}
+
+// RecoverCovers extracts the cover count: c_t = Σ_{i=0}^{2^{n1}-1} P(i)
+// per modulus, then CRT.
+func (p *CoverProblem) RecoverCovers(proof *core.Proof) (*big.Int, error) {
+	residues := make([]uint64, len(proof.Primes))
+	for i, q := range proof.Primes {
+		residues[i] = proof.SumRange(q, 0, 0, uint64(1)<<uint(p.n1))
+	}
+	return crt.Reconstruct(residues, proof.Primes)
+}
+
+// --- Sequential baselines ----------------------------------------------------
+
+// CountCoversBrute counts ordered covering t-tuples by explicit
+// enumeration: O(|F|^t), ground truth for tiny inputs.
+func CountCoversBrute(family []uint64, n, t int) *big.Int {
+	full := uint64(1)<<uint(n) - 1
+	count := big.NewInt(0)
+	one := big.NewInt(1)
+	var rec func(depth int, acc uint64)
+	rec = func(depth int, acc uint64) {
+		if depth == t {
+			if acc == full {
+				count.Add(count, one)
+			}
+			return
+		}
+		for _, x := range family {
+			rec(depth+1, acc|x)
+		}
+	}
+	rec(0, 0)
+	return count
+}
+
+// CountExactCoversBrute counts ordered disjoint covering t-tuples by
+// enumeration.
+func CountExactCoversBrute(family []uint64, n, t int) *big.Int {
+	full := uint64(1)<<uint(n) - 1
+	count := big.NewInt(0)
+	one := big.NewInt(1)
+	var rec func(depth int, acc uint64)
+	rec = func(depth int, acc uint64) {
+		if depth == t {
+			if acc == full {
+				count.Add(count, one)
+			}
+			return
+		}
+		for _, x := range family {
+			if acc&x == 0 {
+				rec(depth+1, acc|x)
+			}
+		}
+	}
+	rec(0, 0)
+	return count
+}
+
+// CountCoversIE counts ordered covering t-tuples with the sequential
+// inclusion–exclusion formula c_t = Σ_Y (-1)^{n-|Y|} |{X⊆Y}|^t over all
+// 2^n subsets (paper [7]): the baseline the Camelot design halves the
+// exponent of.
+func CountCoversIE(family []uint64, n, t int) *big.Int {
+	size := 1 << uint(n)
+	sub := make([]*big.Int, size)
+	for i := range sub {
+		sub[i] = big.NewInt(0)
+	}
+	one := big.NewInt(1)
+	for _, x := range family {
+		sub[x].Add(sub[x], one)
+	}
+	yates.Zeta(n, sub, func(dst, src *big.Int) *big.Int { return dst.Add(dst, src) })
+	total := big.NewInt(0)
+	tt := big.NewInt(int64(t))
+	for y := 0; y < size; y++ {
+		term := new(big.Int).Exp(sub[y], tt, nil)
+		if (n-popcount(uint64(y)))%2 == 1 {
+			total.Sub(total, term)
+		} else {
+			total.Add(total, term)
+		}
+	}
+	return total
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func trailingZeros(x uint64) int {
+	c := 0
+	for x&1 == 0 {
+		x >>= 1
+		c++
+	}
+	return c
+}
+
+// numPrimesFor returns how many primes >= minQ are needed so their
+// product exceeds bound.
+func numPrimesFor(bound *big.Int, minQ uint64) int {
+	if minQ < 2 {
+		minQ = 2
+	}
+	bits := bound.BitLen()
+	per := new(big.Int).SetUint64(minQ).BitLen() - 1
+	if per < 1 {
+		per = 1
+	}
+	n := (bits + per - 1) / per
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,415 @@
+// Package triangles implements the paper's sparsity-aware results (§6):
+// the Itai–Rodeh trace reduction, the split/sparse parallel triangle
+// counter of Theorem 4, the Camelot proof polynomial of Theorem 3 built
+// on the §3.3 polynomial extension of Yates's algorithm, and the
+// Alon–Yuster–Zwick-bound parallel design of Theorem 5.
+package triangles
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"runtime"
+	"sort"
+	"sync"
+
+	"camelot/internal/core"
+	"camelot/internal/crt"
+	"camelot/internal/ff"
+	"camelot/internal/graph"
+	"camelot/internal/matrix"
+	"camelot/internal/tensor"
+	"camelot/internal/yates"
+)
+
+// CountNaive counts triangles by enumerating vertex triples u < v < w —
+// the O(n³) ground truth.
+func CountNaive(g *graph.Graph) uint64 {
+	n := g.N()
+	count := uint64(0)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if g.HasEdge(u, w) && g.HasEdge(v, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// CountEdgeIterator counts triangles by intersecting neighborhoods along
+// each edge with word-parallel bitsets: O(m·n/64).
+func CountEdgeIterator(g *graph.Graph) uint64 {
+	total := uint64(0)
+	for _, e := range g.Edges() {
+		nu, nv := g.Neighbors(e[0]), g.Neighbors(e[1])
+		words := (g.N() + 63) / 64
+		for w := 0; w < words; w++ {
+			x := nu.Word(w) & nv.Word(w)
+			for x != 0 {
+				x &= x - 1
+				total++
+			}
+		}
+	}
+	return total / 3
+}
+
+// CountItaiRodeh counts triangles as trace(A³)/6 with dense matrix
+// multiplication over a prime exceeding n³ (§6.1).
+func CountItaiRodeh(g *graph.Graph) (uint64, error) {
+	n := g.N()
+	q := ff.NextPrime(uint64(n)*uint64(n)*uint64(n) + 1)
+	f, err := ff.New(q)
+	if err != nil {
+		return 0, fmt.Errorf("triangles: %w", err)
+	}
+	a, err := matrix.FromSlice(f, n, n, g.AdjacencyMatrix())
+	if err != nil {
+		return 0, fmt.Errorf("triangles: %w", err)
+	}
+	tr := a.Mul(a).Mul(a).Trace()
+	return tr / 6, nil
+}
+
+// adjacencyEntries returns the sparse Kronecker-indexed entries of the
+// adjacency matrix for the given decomposition: one entry per ordered
+// edge direction, at the interleaved pair index.
+func adjacencyEntries(g *graph.Graph, dc tensor.Decomposition) []yates.Entry {
+	entries := make([]yates.Entry, 0, 2*g.M())
+	for _, e := range g.Edges() {
+		entries = append(entries,
+			yates.Entry{Index: dc.PairIndex(e[0], e[1]), Value: 1},
+			yates.Entry{Index: dc.PairIndex(e[1], e[0]), Value: 1},
+		)
+	}
+	return entries
+}
+
+// sparseTriple bundles the three split/sparse transforms (α, β, γ sides)
+// of the trace identity (19) for one modulus.
+type sparseTriple struct {
+	a, b, c *sparseTransform
+}
+
+// sparseTransform wraps a SplitSparse over the R0×n0² transposed base.
+type sparseTransform struct {
+	ss *yates.SplitSparse
+}
+
+func newSparseTriple(f ff.Field, g *graph.Graph, dc tensor.Decomposition, ell int) (*sparseTriple, error) {
+	entries := adjacencyEntries(g, dc)
+	alphaT, betaT, gammaT := dc.SparseBases(f)
+	s := dc.N0 * dc.N0
+	mk := func(base []uint64) (*sparseTransform, error) {
+		ss, err := yates.NewSplitSparse(f, base, dc.R0, s, dc.T, entries, ell)
+		if err != nil {
+			return nil, err
+		}
+		return &sparseTransform{ss: ss}, nil
+	}
+	a, err := mk(alphaT)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(betaT)
+	if err != nil {
+		return nil, err
+	}
+	c, err := mk(gammaT)
+	if err != nil {
+		return nil, err
+	}
+	return &sparseTriple{a: a, b: b, c: c}, nil
+}
+
+// CountSplitSparse counts triangles with the Theorem 4 execution: the
+// R values A_r, B_r, C_r of identity (19) are produced in O(R/m)
+// independent parts of O(m) entries each via the split/sparse Yates
+// algorithm, parts distributed over goroutines, and Σ_r A_r B_r C_r
+// accumulated. Per-part space is Õ(m).
+func CountSplitSparse(g *graph.Graph, base tensor.Decomposition, parallelism int) (uint64, error) {
+	n := g.N()
+	if n == 0 || g.M() == 0 {
+		return 0, nil
+	}
+	dc, _ := base.ForSize(n)
+	q := ff.NextPrime(uint64(n)*uint64(n)*uint64(n) + 1)
+	f, err := ff.New(q)
+	if err != nil {
+		return 0, fmt.Errorf("triangles: %w", err)
+	}
+	ell := yates.DefaultEll(dc.R0, dc.T, 2*g.M())
+	triple, err := newSparseTriple(f, g, dc, ell)
+	if err != nil {
+		return 0, fmt.Errorf("triangles: %w", err)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	nParts := triple.a.ss.NumParts()
+	if parallelism > nParts {
+		parallelism = nParts
+	}
+	partials := make([]uint64, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := uint64(0)
+			for outer := w; outer < nParts; outer += parallelism {
+				pa := triple.a.ss.Part(outer)
+				pb := triple.b.ss.Part(outer)
+				pc := triple.c.ss.Part(outer)
+				for v := range pa {
+					acc = f.Add(acc, f.Mul(pa[v], f.Mul(pb[v], pc[v])))
+				}
+			}
+			partials[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	tr := uint64(0)
+	for _, v := range partials {
+		tr = f.Add(tr, v)
+	}
+	return tr / 6, nil
+}
+
+// Problem is the Camelot triangle-counting problem of Theorem 3: the
+// proof polynomial P(z) = Σ_{r'} A_{r'}(z) B_{r'}(z) C_{r'}(z) over the
+// §3.3 polynomial extension, with proof size O(R/m) and per-node
+// evaluation time Õ(m + R/m).
+type Problem struct {
+	g      *graph.Graph
+	dc     tensor.Decomposition
+	ell    int
+	nParts int
+
+	mu      sync.Mutex
+	triples map[uint64]*sparseTriple
+}
+
+var _ core.Problem = (*Problem)(nil)
+
+// NewProblem builds the Camelot triangle problem over the given base
+// decomposition.
+func NewProblem(g *graph.Graph, base tensor.Decomposition) (*Problem, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("triangles: empty graph")
+	}
+	dc, _ := base.ForSize(g.N())
+	ell := yates.DefaultEll(dc.R0, dc.T, 2*g.M())
+	nParts := 1
+	for i := 0; i < dc.T-ell; i++ {
+		nParts *= dc.R0
+	}
+	return &Problem{g: g, dc: dc, ell: ell, nParts: nParts, triples: make(map[uint64]*sparseTriple)}, nil
+}
+
+// Name implements core.Problem.
+func (p *Problem) Name() string {
+	return fmt.Sprintf("count-triangles(n=%d,m=%d)", p.g.N(), p.g.M())
+}
+
+// Width implements core.Problem.
+func (p *Problem) Width() int { return 1 }
+
+// Degree implements core.Problem: each part polynomial has degree at
+// most R/m'-1, so P has degree at most 3(R/m'-1).
+func (p *Problem) Degree() int { return 3 * (p.nParts - 1) }
+
+// NumParts exposes the proof-size driver R/m' (for experiments).
+func (p *Problem) NumParts() int { return p.nParts }
+
+// MinModulus implements core.Problem: big enough for the part-polynomial
+// grid, floored at 2^20 so that a single prime usually covers the n³
+// trace bound.
+func (p *Problem) MinModulus() uint64 {
+	min := uint64(3*p.nParts + 2)
+	if min < 1<<20 {
+		min = 1 << 20
+	}
+	return min
+}
+
+// NumPrimes implements core.Problem: the trace is at most n³.
+func (p *Problem) NumPrimes() int {
+	n := big.NewInt(int64(p.g.N()))
+	bound := new(big.Int).Exp(n, big.NewInt(3), nil)
+	bits := bound.BitLen()
+	per := new(big.Int).SetUint64(p.MinModulus()).BitLen() - 1
+	if per < 1 {
+		per = 1
+	}
+	np := (bits + per - 1) / per
+	if np < 1 {
+		np = 1
+	}
+	return np
+}
+
+func (p *Problem) tripleFor(q uint64) (*sparseTriple, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.triples[q]; ok {
+		return t, nil
+	}
+	t, err := newSparseTriple(ff.Field{Q: q}, p.g, p.dc, p.ell)
+	if err != nil {
+		return nil, err
+	}
+	p.triples[q] = t
+	return t, nil
+}
+
+// Evaluate implements core.Problem: P(z0) mod q.
+func (p *Problem) Evaluate(q, z0 uint64) ([]uint64, error) {
+	triple, err := p.tripleFor(q)
+	if err != nil {
+		return nil, err
+	}
+	f := ff.Field{Q: q}
+	pa := triple.a.ss.PartsAtPoint(z0)
+	pb := triple.b.ss.PartsAtPoint(z0)
+	pc := triple.c.ss.PartsAtPoint(z0)
+	acc := uint64(0)
+	for v := range pa {
+		acc = f.Add(acc, f.Mul(pa[v], f.Mul(pb[v], pc[v])))
+	}
+	return []uint64{acc}, nil
+}
+
+// Recover extracts the triangle count: Σ_{z0=1}^{R/m'} P(z0) equals
+// trace(A³) per modulus (paper eq. (21)), then CRT and division by 6.
+func (p *Problem) Recover(proof *core.Proof) (*big.Int, error) {
+	residues := make([]uint64, len(proof.Primes))
+	for i, q := range proof.Primes {
+		residues[i] = proof.SumRange(q, 0, 1, uint64(p.nParts)+1)
+	}
+	x, err := crt.Reconstruct(residues, proof.Primes)
+	if err != nil {
+		return nil, fmt.Errorf("triangles: %w", err)
+	}
+	quo, rem := new(big.Int).QuoRem(x, big.NewInt(6), new(big.Int))
+	if rem.Sign() != 0 {
+		return nil, fmt.Errorf("triangles: trace %v not divisible by 6 — proof inconsistent", x)
+	}
+	return quo, nil
+}
+
+// --- Theorem 5: the Alon–Yuster–Zwick bound ---------------------------------
+
+// OmegaStrassen is the practical matrix-multiplication exponent of this
+// codebase (Strassen), used to place the AYZ degree threshold.
+const OmegaStrassen = 2.8073549220576042 // log2 7
+
+// CountAYZ counts triangles with the Theorem 5 design: vertices are
+// split at Δ = m^{(ω-1)/(ω+1)}; triangles entirely within the high-degree
+// core are counted with the split/sparse dense method on the induced
+// subgraph, and triangles touching a low-degree vertex are counted by
+// Δ parallel "label nodes", each doing Õ(m) work.
+func CountAYZ(g *graph.Graph, base tensor.Decomposition, parallelism int) (uint64, error) {
+	m := g.M()
+	if m == 0 {
+		return 0, nil
+	}
+	delta := int(math.Ceil(math.Pow(float64(m), (OmegaStrassen-1)/(OmegaStrassen+1))))
+	if delta < 1 {
+		delta = 1
+	}
+	n := g.N()
+	low := make([]bool, n)
+	var high []int
+	for v := 0; v < n; v++ {
+		if g.Degree(v) <= delta {
+			low[v] = true
+		} else {
+			high = append(high, v)
+		}
+	}
+	// High-core triangles: induced subgraph, dense split/sparse count.
+	highCount := uint64(0)
+	if len(high) >= 3 {
+		idx := make(map[int]int, len(high))
+		for i, v := range high {
+			idx[v] = i
+		}
+		hg := graph.New(len(high))
+		for _, e := range g.Edges() {
+			iu, uok := idx[e[0]]
+			iv, vok := idx[e[1]]
+			if uok && vok {
+				hg.AddEdge(iu, iv)
+			}
+		}
+		var err error
+		highCount, err = CountSplitSparse(hg, base, parallelism)
+		if err != nil {
+			return 0, fmt.Errorf("triangles: AYZ high part: %w", err)
+		}
+	}
+	// Low-touching triangles: for each low vertex x, label its incident
+	// edge ends 1..deg(x) <= Δ; label-node u enumerates pairs (u-th
+	// neighbor, later neighbors). A triangle is counted at its minimum
+	// low-degree vertex only.
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > delta {
+		parallelism = delta
+	}
+	neighbors := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if low[v] {
+			neighbors[v] = g.Neighbors(v).Elements()
+			sort.Ints(neighbors[v])
+		}
+	}
+	partials := make([]uint64, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := uint64(0)
+			for u := w; u < delta; u += parallelism {
+				for x := 0; x < n; x++ {
+					if !low[x] || u >= len(neighbors[x]) {
+						continue
+					}
+					y := neighbors[x][u]
+					for _, z := range neighbors[x][u+1:] {
+						if !g.HasEdge(y, z) {
+							continue
+						}
+						// Count at the minimum low-degree vertex of {x,y,z}.
+						if (low[y] && y < x) || (low[z] && z < x) {
+							continue
+						}
+						acc++
+					}
+				}
+			}
+			partials[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	lowCount := uint64(0)
+	for _, v := range partials {
+		lowCount += v
+	}
+	return highCount + lowCount, nil
+}
+
+// Delta exposes the AYZ degree threshold for a given edge count (used by
+// the experiment harness to report the crossover).
+func Delta(m int) int {
+	return int(math.Ceil(math.Pow(float64(m), (OmegaStrassen-1)/(OmegaStrassen+1))))
+}

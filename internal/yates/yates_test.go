@@ -1,0 +1,281 @@
+package yates
+
+import (
+	"math/rand"
+	"testing"
+
+	"camelot/internal/ff"
+)
+
+var testField = ff.Must(1000003)
+
+// kroneckerDense materializes A^{⊗k} and multiplies naively — the
+// reference for every fast path.
+func kroneckerDense(f ff.Field, a []uint64, t, s, k int, x []uint64) []uint64 {
+	rows, cols := 1, 1
+	m := []uint64{1}
+	for level := 0; level < k; level++ {
+		nr, nc := rows*t, cols*s
+		nm := make([]uint64, nr*nc)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				for bi := 0; bi < t; bi++ {
+					for bj := 0; bj < s; bj++ {
+						nm[(i*t+bi)*nc+j*s+bj] = f.Mul(m[i*cols+j], a[bi*s+bj])
+					}
+				}
+			}
+		}
+		m, rows, cols = nm, nr, nc
+	}
+	y := make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		acc := uint64(0)
+		for j := 0; j < cols; j++ {
+			acc = f.Add(acc, f.Mul(m[i*cols+j], x[j]))
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+func randBase(rng *rand.Rand, t, s int) []uint64 {
+	a := make([]uint64, t*s)
+	for i := range a {
+		a[i] = rng.Uint64() % testField.Q
+	}
+	return a
+}
+
+func randVec(rng *rand.Rand, n int) []uint64 {
+	x := make([]uint64, n)
+	for i := range x {
+		x[i] = rng.Uint64() % testField.Q
+	}
+	return x
+}
+
+func TestTransformMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ t, s, k int }{
+		{2, 2, 1}, {2, 2, 4}, {3, 2, 3}, {7, 4, 2}, {2, 2, 8}, {4, 3, 3},
+	}
+	for _, c := range cases {
+		a := randBase(rng, c.t, c.s)
+		x := randVec(rng, pow(c.s, c.k))
+		got := Transform(testField, a, c.t, c.s, c.k, x)
+		want := kroneckerDense(testField, a, c.t, c.s, c.k, x)
+		if len(got) != len(want) {
+			t.Fatalf("(%d,%d,%d): length %d want %d", c.t, c.s, c.k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("(%d,%d,%d): index %d: %d want %d", c.t, c.s, c.k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransformIdentityBase(t *testing.T) {
+	// A = I2: transform is the identity.
+	x := []uint64{5, 6, 7, 8}
+	got := Transform(testField, []uint64{1, 0, 0, 1}, 2, 2, 2, x)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("identity transform changed input: %v", got)
+		}
+	}
+}
+
+func TestTransformPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad base":  func() { Transform(testField, []uint64{1}, 2, 2, 1, []uint64{1, 2}) },
+		"bad input": func() { Transform(testField, []uint64{1, 0, 0, 1}, 2, 2, 2, []uint64{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func sparseFromDense(x []uint64) []Entry {
+	var es []Entry
+	for i, v := range x {
+		if v != 0 {
+			es = append(es, Entry{Index: i, Value: v})
+		}
+	}
+	return es
+}
+
+func TestSplitSparseMatchesTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct{ t, s, k, ell, nnz int }{
+		{2, 2, 5, 2, 6},
+		{3, 2, 4, 2, 5},
+		{7, 4, 2, 1, 9},
+		{2, 2, 6, 0, 4},  // ell = 0: all outer
+		{2, 2, 6, 6, 10}, // ell = k: plain Yates
+	}
+	for _, c := range cases {
+		x := make([]uint64, pow(c.s, c.k))
+		for _, i := range rng.Perm(len(x))[:c.nnz] {
+			x[i] = 1 + rng.Uint64()%(testField.Q-1)
+		}
+		ss, err := NewSplitSparse(testField, randBase(rng, c.t, c.s), c.t, c.s, c.k, sparseFromDense(x), c.ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Transform(testField, ss.a, c.t, c.s, c.k, x)
+		got := ss.Dense()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %+v: index %d: %d want %d", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSplitSparseRejectsBadArgs(t *testing.T) {
+	a := randBase(rand.New(rand.NewSource(3)), 2, 3)
+	if _, err := NewSplitSparse(testField, a, 2, 3, 4, nil, 2); err == nil {
+		t.Fatal("want error for t < s")
+	}
+	b := randBase(rand.New(rand.NewSource(3)), 3, 2)
+	if _, err := NewSplitSparse(testField, b, 3, 2, 4, nil, 9); err == nil {
+		t.Fatal("want error for ell > k")
+	}
+	if _, err := NewSplitSparse(testField, b, 3, 2, 2, []Entry{{Index: 99, Value: 1}}, 1); err == nil {
+		t.Fatal("want error for out-of-range entry")
+	}
+}
+
+func TestDefaultEll(t *testing.T) {
+	tests := []struct{ t, k, nnz, want int }{
+		{2, 10, 1, 0}, {2, 10, 2, 1}, {2, 10, 5, 3}, {2, 3, 1000, 3}, {7, 4, 40, 2},
+	}
+	for _, tt := range tests {
+		if got := DefaultEll(tt.t, tt.k, tt.nnz); got != tt.want {
+			t.Errorf("DefaultEll(%d,%d,%d) = %d, want %d", tt.t, tt.k, tt.nnz, got, tt.want)
+		}
+	}
+}
+
+func TestPartsAtPointOnGridMatchesParts(t *testing.T) {
+	// Paper §3.3: evaluating the polynomial extension at z0 in [t^{k-ℓ}]
+	// reproduces exactly the split/sparse parts.
+	rng := rand.New(rand.NewSource(4))
+	const tt, s, k, ell = 3, 2, 4, 2
+	x := make([]uint64, pow(s, k))
+	for _, i := range rng.Perm(len(x))[:5] {
+		x[i] = 1 + rng.Uint64()%(testField.Q-1)
+	}
+	ss, err := NewSplitSparse(testField, randBase(rng, tt, s), tt, s, k, sparseFromDense(x), ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for outer := 0; outer < ss.NumParts(); outer++ {
+		want := ss.Part(outer)
+		got := ss.PartsAtPoint(uint64(outer + 1))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("outer %d entry %d: %d want %d", outer, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartsAtPointIsLowDegreePolynomial(t *testing.T) {
+	// Each coordinate of PartsAtPoint is a polynomial of degree
+	// <= t^{k-ℓ}-1 in z0; check by Lagrange-extrapolating from the grid to
+	// an off-grid point and comparing.
+	rng := rand.New(rand.NewSource(5))
+	const tt, s, k, ell = 2, 2, 5, 2
+	f := testField
+	x := make([]uint64, pow(s, k))
+	for _, i := range rng.Perm(len(x))[:6] {
+		x[i] = 1 + rng.Uint64()%(f.Q-1)
+	}
+	ss, err := NewSplitSparse(f, randBase(rng, tt, s), tt, s, k, sparseFromDense(x), ell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nParts := ss.NumParts()
+	z0 := uint64(123456)
+	got := ss.PartsAtPoint(z0)
+	lam := f.LagrangeAtOneBased(nParts, z0)
+	for coord := 0; coord < ss.PartSize(); coord++ {
+		want := uint64(0)
+		for o := 0; o < nParts; o++ {
+			want = f.Add(want, f.Mul(ss.Part(o)[coord], lam[o]))
+		}
+		if got[coord] != want {
+			t.Fatalf("coord %d: %d want %d", coord, got[coord], want)
+		}
+	}
+}
+
+func TestZetaTransform(t *testing.T) {
+	// Over integers: vals[Y] must become Σ_{X⊆Y} original[X].
+	n := 4
+	vals := make([]uint64, 1<<n)
+	orig := make([]uint64, 1<<n)
+	rng := rand.New(rand.NewSource(6))
+	for i := range vals {
+		vals[i] = rng.Uint64() % 1000
+		orig[i] = vals[i]
+	}
+	Zeta(n, vals, func(dst, src uint64) uint64 { return dst + src })
+	for y := 0; y < 1<<n; y++ {
+		want := uint64(0)
+		for x := 0; x < 1<<n; x++ {
+			if x&^y == 0 {
+				want += orig[x]
+			}
+		}
+		if vals[y] != want {
+			t.Fatalf("zeta[%04b] = %d, want %d", y, vals[y], want)
+		}
+	}
+}
+
+func TestZetaPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Zeta(3, make([]uint64, 7), func(a, b uint64) uint64 { return a + b })
+}
+
+func BenchmarkTransform2x2x12(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randBase(rng, 2, 2)
+	x := randVec(rng, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Transform(testField, a, 2, 2, 12, x)
+	}
+}
+
+func BenchmarkSplitSparsePart(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const tt, s, k = 7, 4, 5
+	entries := make([]Entry, 200)
+	for i := range entries {
+		entries[i] = Entry{Index: rng.Intn(pow(s, k)), Value: 1 + rng.Uint64()%(testField.Q-1)}
+	}
+	ss, err := NewSplitSparse(testField, randBase(rng, tt, s), tt, s, k, entries, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ss.Part(i % ss.NumParts())
+	}
+}

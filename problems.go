@@ -1,0 +1,303 @@
+package camelot
+
+import (
+	"context"
+	"math/big"
+
+	"camelot/internal/chromatic"
+	"camelot/internal/cliques"
+	"camelot/internal/cnfsat"
+	"camelot/internal/conv3sum"
+	"camelot/internal/core"
+	"camelot/internal/csp"
+	"camelot/internal/hamilton"
+	"camelot/internal/orthvec"
+	"camelot/internal/permanent"
+	"camelot/internal/setcover"
+	"camelot/internal/triangles"
+	"camelot/internal/tutte"
+)
+
+// RunProblem executes the full Camelot protocol — distributed proof
+// preparation, per-node Gao decoding with failed-node identification,
+// and randomized verification — for any Problem. Most callers use the
+// problem-specific functions below instead.
+func RunProblem(ctx context.Context, p Problem, opts ...Option) (*Proof, *Report, error) {
+	c := newConfig(opts)
+	return core.Run(ctx, p, c.opts)
+}
+
+// VerifyProof spot-checks a proof against the input with the given
+// number of trials — the Merlin–Arthur mode (paper §1.1): Arthur accepts
+// a correct proof always and a forged one with probability at most
+// (d/q)^trials, spending one node's work per trial.
+func VerifyProof(p Problem, proof *Proof, trials int, seed int64) (bool, error) {
+	return core.VerifyProof(p, proof, trials, seed)
+}
+
+// CountCliques counts the k-cliques of g (k divisible by 6) with the
+// Theorem 1 Camelot algorithm: proof size and per-node time O(n^{ωk/6}),
+// matching the best sequential total.
+func CountCliques(ctx context.Context, g *Graph, k int, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := cliques.NewProblem(g.g, k, c.base)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	count, err := p.Recover(proof)
+	return count, rep, err
+}
+
+// CountCliquesSequential counts k-cliques with the Nešetřil–Poljak
+// baseline (no proof, no distribution) for comparison.
+func CountCliquesSequential(g *Graph, k int) (*big.Int, error) {
+	return cliques.CountNesetrilPoljak(g.g, k)
+}
+
+// CountTriangles counts the triangles of g with the Theorem 3 Camelot
+// algorithm: proof size O(n^ω/m), per-node time Õ(m).
+func CountTriangles(ctx context.Context, g *Graph, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := triangles.NewProblem(g.g, c.base)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	count, err := p.Recover(proof)
+	return count, rep, err
+}
+
+// ChromaticPolynomial computes the chromatic polynomial of g with the
+// Theorem 6 Camelot algorithm (proof size and time O*(2^{n/2})),
+// returning the integer coefficients c_0..c_n of χ_G(t) = Σ c_k t^k.
+func ChromaticPolynomial(ctx context.Context, g *Graph, opts ...Option) ([]*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := chromatic.NewProblem(g.g)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	coeffs, err := p.Coefficients(proof)
+	return coeffs, rep, err
+}
+
+// TutteResult carries the recovered Tutte and random-cluster polynomials.
+type TutteResult = tutte.Result
+
+// TuttePolynomial computes the Tutte polynomial of a multigraph with the
+// Theorem 7 Camelot algorithm: proof size O*(2^{n/3}), per-node time
+// O*(2^{ωn/3}), one run per Fortuin–Kasteleyn line r = 1..m+1.
+func TuttePolynomial(ctx context.Context, mg *Multigraph, opts ...Option) (*TutteResult, error) {
+	c := newConfig(opts)
+	return tutte.Compute(ctx, mg.mg, c.opts)
+}
+
+// EvalTutte evaluates a recovered Tutte coefficient matrix at (x, y).
+func EvalTutte(coeffs [][]*big.Int, x, y int64) *big.Int { return tutte.Eval(coeffs, x, y) }
+
+// CNFFormula is a CNF formula: literal +v is variable v, -v its negation.
+type CNFFormula = cnfsat.Formula
+
+// CountCNFSolutions counts satisfying assignments with the Theorem 8(1)
+// Camelot algorithm: proof size and time O*(2^{v/2}).
+func CountCNFSolutions(ctx context.Context, f *CNFFormula, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := cnfsat.NewProblem(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	count, err := p.CountSolutions(proof)
+	return count, rep, err
+}
+
+// Permanent computes the permanent of an integer matrix with the
+// Theorem 8(2) Camelot algorithm: proof size and time O*(2^{n/2})
+// against Ryser's O*(2^n).
+func Permanent(ctx context.Context, a [][]int64, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := permanent.NewProblem(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	per, err := p.Recover(proof)
+	return per, rep, err
+}
+
+// CountHamiltonianCycles counts the (undirected) Hamiltonian cycles of g
+// with the Theorem 8(3) Camelot algorithm: proof size and time
+// O*(2^{n/2}).
+func CountHamiltonianCycles(ctx context.Context, g *Graph, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := hamilton.NewProblem(g.g)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	count, err := p.RecoverUndirected(proof)
+	return count, rep, err
+}
+
+// CountHamiltonianPaths counts the (undirected) Hamiltonian paths of g —
+// the Appendix A.5 closing remark — with proof size and time O*(2^{n/2}).
+func CountHamiltonianPaths(ctx context.Context, g *Graph, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := hamilton.NewPathProblem(g.g)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	count, err := p.RecoverUndirected(proof)
+	return count, rep, err
+}
+
+// CountSetCovers counts ordered t-tuples from the family (sets given as
+// bit masks over an n-element universe) whose union is the universe,
+// with the Theorem 9 Camelot algorithm: proof size and time O*(2^{n/2}).
+func CountSetCovers(ctx context.Context, family []uint64, n, t int, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := setcover.NewCoverProblem(family, n, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	count, err := p.RecoverCovers(proof)
+	return count, rep, err
+}
+
+// CountSetPartitions counts the unordered partitions of the universe
+// into t sets from the family, with the Theorem 10 Camelot algorithm.
+func CountSetPartitions(ctx context.Context, family []uint64, n, t int, opts ...Option) (*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := setcover.NewExactCoverProblem(family, n, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	count, err := p.RecoverPartitions(proof)
+	return count, rep, err
+}
+
+// CountOrthogonalPairs returns, for each row of a, how many rows of b
+// are orthogonal to it (Theorem 11(1): proof size and time Õ(nt)).
+// Matrices are n×t row-major 0/1.
+func CountOrthogonalPairs(ctx context.Context, n, t int, a, b []uint8, opts ...Option) ([]int64, *Report, error) {
+	c := newConfig(opts)
+	am, err := orthvec.NewBoolMatrix(n, t, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	bm, err := orthvec.NewBoolMatrix(n, t, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := orthvec.NewOVProblem(am, bm)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	counts, err := p.Counts(proof)
+	return counts, rep, err
+}
+
+// HammingDistribution returns counts[i][h] = number of rows of b at
+// Hamming distance h from row i of a (Theorem 11(2): Õ(nt²)).
+func HammingDistribution(ctx context.Context, n, t int, a, b []uint8, opts ...Option) ([][]int64, *Report, error) {
+	c := newConfig(opts)
+	am, err := orthvec.NewBoolMatrix(n, t, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	bm, err := orthvec.NewBoolMatrix(n, t, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := orthvec.NewHammingProblem(am, bm)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	dist, err := p.Distribution(proof)
+	return dist, rep, err
+}
+
+// Convolution3SUM counts the witnesses of A[i]+A[ℓ] = A[i+ℓ] per index
+// i in [1, n/2] (Theorem 11(3): Õ(nt²)). The array is 1-based
+// conceptually; a[0] is A[1].
+func Convolution3SUM(ctx context.Context, a []uint64, bits int, opts ...Option) ([]int64, *Report, error) {
+	c := newConfig(opts)
+	p, err := conv3sum.NewProblem(a, bits)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	counts, err := p.Counts(proof)
+	return counts, rep, err
+}
+
+// CSPConstraint is a binary constraint with a σ×σ satisfaction table.
+type CSPConstraint = csp.Constraint
+
+// CSPSystem is a 2-CSP over n variables (n divisible by 6), alphabet σ.
+type CSPSystem = csp.System
+
+// CSPDistribution returns N_k, the number of assignments satisfying
+// exactly k constraints, for k = 0..m (Theorem 12: proof size and time
+// O*(σ^{ωn/6})).
+func CSPDistribution(ctx context.Context, sys *CSPSystem, opts ...Option) ([]*big.Int, *Report, error) {
+	c := newConfig(opts)
+	p, err := csp.NewProblem(sys, c.base)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, rep, err := core.Run(ctx, p, c.opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	dist, err := p.Distribution(proof)
+	return dist, rep, err
+}
+
+// RandomBoolMatrix returns an n×t 0/1 matrix with the given density —
+// a convenience for experiments with the vector problems.
+func RandomBoolMatrix(n, t int, density float64, seed int64) []uint8 {
+	return randomBits(n, t, density, seed)
+}
