@@ -417,6 +417,83 @@ func BenchmarkE12GaoDecode(b *testing.B) {
 	}
 }
 
+// --- E14: BatchProblem block evaluation vs per-point fallback ------------------------
+
+// benchBatchVsPerPoint times one node's workload — evaluating a block of
+// consecutive code points for one prime — through the BatchProblem fast
+// path and the generic per-point fallback the scheduler would otherwise
+// use.
+func benchBatchVsPerPoint(b *testing.B, p core.BatchProblem, q uint64, points int) {
+	xs := make([]uint64, points)
+	for i := range xs {
+		xs[i] = uint64(i)
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.EvaluateBlock(q, xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("perpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				if _, err := p.Evaluate(q, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkE14BatchPermanent(b *testing.B) {
+	a := make([][]int64, 12)
+	for i := range a {
+		a[i] = make([]int64, 12)
+		for j := range a[i] {
+			a[i][j] = int64((i*j + i + j) % 3)
+		}
+	}
+	p, err := permanent.NewProblem(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 128)
+}
+
+func BenchmarkE14BatchKClique(b *testing.B) {
+	g := graph.Gnp(8, 0.7, 1)
+	p, err := cliques.NewProblem(g, 6, tensor.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Evaluate(q, 0); err != nil { // warm the per-prime form cache for both paths
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 128)
+}
+
+func BenchmarkE14BatchCNFSAT(b *testing.B) {
+	f := cnfsat.RandomFormula(14, 21, 3, 14)
+	p, err := cnfsat.NewProblem(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 128)
+}
+
 // --- E13: K-node tradeoff ------------------------------------------------------------
 
 func BenchmarkE13Tradeoff(b *testing.B) {

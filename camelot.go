@@ -40,6 +40,25 @@ type Problem = core.Problem
 // Adversary injects byzantine behaviour into a run's share traffic.
 type Adversary = core.Adversary
 
+// BatchProblem is the optional block-evaluation extension of Problem:
+// problems implementing it receive their owned point range per prime
+// in blocks of up to 256 consecutive points per EvaluateBlock call,
+// amortizing per-prime setup across each block.
+type BatchProblem = core.BatchProblem
+
+// Transport carries node share broadcasts; the default is the in-memory
+// broadcast bus.
+type Transport = core.Transport
+
+// TransportFactory builds a fresh Transport for a run of k nodes.
+type TransportFactory = core.TransportFactory
+
+// NodeShares is the message a node broadcasts over the Transport.
+type NodeShares = core.NodeShares
+
+// NewBroadcastBus returns the default in-memory transport for k nodes.
+func NewBroadcastBus(k int) *core.BroadcastBus { return core.NewBroadcastBus(k) }
+
 // SilentNodes returns a crash-fault adversary: the listed nodes send
 // nothing.
 func SilentNodes(ids ...int) Adversary { return core.NewSilentNodes(ids...) }
@@ -91,6 +110,16 @@ func WithVerifyTrials(trials int) Option { return func(c *config) { c.opts.Verif
 // WithDecodingNodes caps how many honest nodes run the full decoder
 // (0 = all, the paper's model).
 func WithDecodingNodes(k int) Option { return func(c *config) { c.opts.DecodingNodes = k } }
+
+// WithMaxParallelism bounds the worker pool that drives node evaluation
+// and decoding (0 = GOMAXPROCS). The logical node count K sets the work
+// split, not the goroutine count.
+func WithMaxParallelism(n int) Option { return func(c *config) { c.opts.MaxParallelism = n } }
+
+// WithTransport substitutes the share-broadcast transport (default: the
+// in-memory broadcast bus). The factory is invoked once per run with
+// the node count, so transports can size their buffers.
+func WithTransport(tf TransportFactory) Option { return func(c *config) { c.opts.NewTransport = tf } }
 
 // WithStrassenTensor selects the rank-7 ⟨2,2,2⟩ decomposition
 // (ω = log2 7) for the matrix-multiplication-based designs. The default.

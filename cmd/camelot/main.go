@@ -41,6 +41,7 @@ func main() {
 // commonFlags holds the framework options shared by every subcommand.
 type commonFlags struct {
 	nodes, faults, trials int
+	parallelism           int
 	seed                  int64
 	lie, silence, equiv   string
 }
@@ -49,6 +50,7 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&cf.nodes, "nodes", 4, "number of compute nodes K")
 	fs.IntVar(&cf.faults, "faults", 0, "fault tolerance f (codeword length e = d+1+2f)")
 	fs.IntVar(&cf.trials, "trials", 2, "verification trials")
+	fs.IntVar(&cf.parallelism, "parallelism", 0, "worker pool size driving the K nodes (0 = GOMAXPROCS)")
 	fs.Int64Var(&cf.seed, "seed", 1, "randomness seed")
 	fs.StringVar(&cf.lie, "lie", "", "comma-separated node ids that broadcast garbage")
 	fs.StringVar(&cf.silence, "silence", "", "comma-separated node ids that crash")
@@ -61,6 +63,7 @@ func (cf *commonFlags) options() ([]camelot.Option, error) {
 		camelot.WithFaultTolerance(cf.faults),
 		camelot.WithSeed(cf.seed),
 		camelot.WithVerifyTrials(cf.trials),
+		camelot.WithMaxParallelism(cf.parallelism),
 	}
 	parse := func(s string) ([]int, error) {
 		if s == "" {

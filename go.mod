@@ -1,0 +1,3 @@
+module camelot
+
+go 1.24

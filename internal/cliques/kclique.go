@@ -111,7 +111,10 @@ type Problem struct {
 	forms map[uint64]*Form
 }
 
-var _ core.Problem = (*Problem)(nil)
+var (
+	_ core.Problem      = (*Problem)(nil)
+	_ core.BatchProblem = (*Problem)(nil)
+)
 
 // NewProblem builds the Camelot clique problem for a graph, a clique
 // size k divisible by 6, and a base tensor decomposition (Strassen() for
@@ -208,6 +211,25 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 		return nil, err
 	}
 	return []uint64{v}, nil
+}
+
+// EvaluateBlock implements core.BatchProblem: one form fetch and one
+// tensor point-evaluator serve the whole block, instead of rebuilding
+// Lagrange tables and reduced bases three times per point.
+func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
+	fm, err := p.formFor(q)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := fm.ProofEvalBlock(p.dc, xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint64, len(xs))
+	for i, v := range vals {
+		out[i] = []uint64{v}
+	}
+	return out, nil
 }
 
 // Recover extracts the clique count from a decoded proof:

@@ -56,7 +56,10 @@ type Problem struct {
 	v1, v2  int
 }
 
-var _ core.Problem = (*Problem)(nil)
+var (
+	_ core.Problem      = (*Problem)(nil)
+	_ core.BatchProblem = (*Problem)(nil)
+)
 
 // NewProblem builds the Theorem 8(1) problem. The first ⌈v/2⌉ variables
 // form the A side, the rest the B side.
@@ -115,6 +118,13 @@ func (p *Problem) NumPrimes() int { return p.ov.NumPrimes() }
 
 // Evaluate implements core.Problem.
 func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) { return p.ov.Evaluate(q, x0) }
+
+// EvaluateBlock implements core.BatchProblem, inheriting the orthogonal
+// vectors batch path: the half-assignment matrices are large (2^{v/2}
+// rows), so amortizing the per-prime Lagrange setup matters here most.
+func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
+	return p.ov.EvaluateBlock(q, xs)
+}
 
 // satisfiesNoLiteral reports whether the assignment (bit b of mask =
 // value of variable lo+b) satisfies none of the clause's literals in the

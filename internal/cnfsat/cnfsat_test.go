@@ -149,3 +149,26 @@ func TestTautologyAndFullCube(t *testing.T) {
 		t.Fatalf("tautology count = %v, want 16", got)
 	}
 }
+
+func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
+	f := RandomFormula(9, 12, 3, 5)
+	p, err := NewProblem(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := uint64(1048583)
+	xs := []uint64{0, 1, 7, 100, 54321}
+	rows, err := p.EvaluateBlock(q, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want, err := p.Evaluate(q, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows[i][0] != want[0] {
+			t.Fatalf("block P(%d) = %d, point path %d", x, rows[i][0], want[0])
+		}
+	}
+}

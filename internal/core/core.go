@@ -4,9 +4,12 @@
 // points, the evaluation vector being — by construction — a nonsystematic
 // Reed–Solomon codeword. The framework provides:
 //
-//   - Proof preparation in distributed encoded form (§1.3 step 1): nodes
-//     are goroutines, each responsible for ~e/K evaluation points, that
-//     broadcast their shares over an in-memory bus.
+//   - Proof preparation in distributed encoded form (§1.3 step 1):
+//     logical nodes, each responsible for ~e/K evaluation points,
+//     scheduled on a bounded worker pool and broadcasting their shares
+//     over a pluggable Transport (default: an in-memory bus). Problems
+//     implementing BatchProblem evaluate their whole owned range per
+//     prime in one call.
 //   - Error correction during preparation (§1.3 step 2): every honest
 //     node independently runs the Gao decoder on whatever it received,
 //     recovering the true proof and identifying the failed nodes, for up
@@ -18,6 +21,11 @@
 // Problems plug in via the Problem interface; answers larger than one
 // modulus are assembled by evaluating over several distinct primes and
 // reconstructing with the Chinese Remainder Theorem.
+//
+// The protocol itself is a staged pipeline (see ARCHITECTURE.md at the
+// repository root): engine.go wires prepare → decode → verify over the
+// transport layer (transport.go) and the scheduler layer (scheduler.go),
+// with context cancellation observed in every stage.
 package core
 
 import (
@@ -133,6 +141,15 @@ type Options struct {
 	// (every node receives everything regardless). 0 means all — the
 	// paper's model; tests at large K may reduce it for speed.
 	DecodingNodes int
+	// MaxParallelism bounds the worker pool that drives node evaluation
+	// and decoding. 0 means runtime.GOMAXPROCS — the logical node count
+	// K no longer dictates goroutine count.
+	MaxParallelism int
+	// NewTransport builds the share-broadcast transport for a run of k
+	// nodes (default: the in-memory BroadcastBus). A factory rather than
+	// an instance because transports hold per-run message state while
+	// Options values are reused across runs.
+	NewTransport TransportFactory
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +161,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.VerifyTrials <= 0 {
 		o.VerifyTrials = 1
+	}
+	if o.NewTransport == nil {
+		o.NewTransport = func(k int) Transport { return NewBroadcastBus(k) }
 	}
 	return o
 }

@@ -1,0 +1,105 @@
+package core
+
+// Per-node error correction (paper §1.3 step 2): every honest node runs
+// the Gao decoder over the word it received, recovering the true proof
+// and identifying the corrupted shares' owners.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"camelot/internal/poly"
+	"camelot/internal/rs"
+)
+
+// decodeResult is one honest node's view after decoding: the recovered
+// proof plus the node ids it observed contributing corrupted shares.
+type decodeResult struct {
+	coeffs    map[uint64][][]uint64
+	evals     map[uint64][][]uint64
+	suspects  map[int]bool
+	maxErrors int
+}
+
+func (a *decodeResult) sameProof(b *decodeResult) bool {
+	for q, ac := range a.coeffs {
+		bc, ok := b.coeffs[q]
+		if !ok || len(ac) != len(bc) {
+			return false
+		}
+		for w := range ac {
+			if !poly.Equal(ac[w], bc[w]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// decodeAsNode assembles the word the recipient received — shares from
+// each sender pass through the adversary — and runs the Gao decoder for
+// every prime and coordinate, checking ctx between decodes.
+func decodeAsNode(ctx context.Context, recipient int, primes []uint64, codes []*rs.Code,
+	all []NodeShares, assign PointAssignment, adv Adversary, w, e int) (*decodeResult, error) {
+	res := &decodeResult{
+		coeffs:   make(map[uint64][][]uint64, len(primes)),
+		evals:    make(map[uint64][][]uint64, len(primes)),
+		suspects: make(map[int]bool),
+	}
+	word := make([]uint64, e)
+	for pi, q := range primes {
+		res.coeffs[q] = make([][]uint64, w)
+		res.evals[q] = make([][]uint64, w)
+		for c := 0; c < w; c++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			for _, sender := range all {
+				for x := sender.Lo; x < sender.Hi; x++ {
+					v, delivered := adv.Transform(sender.ID, recipient, q, c, x, sender.Vals[pi][c][x-sender.Lo])
+					if !delivered {
+						v = 0 // missing share: decoder sees it as a (probable) error symbol
+					}
+					word[x] = v
+				}
+			}
+			msg, corrected, locs, err := codes[pi].Decode(word)
+			if err != nil {
+				return nil, fmt.Errorf("prime %d coord %d: %w", q, c, err)
+			}
+			res.coeffs[q][c] = msg
+			res.evals[q][c] = corrected
+			for _, loc := range locs {
+				res.suspects[assign.Owner(loc)] = true
+			}
+			if len(locs) > res.maxErrors {
+				res.maxErrors = len(locs)
+			}
+		}
+	}
+	return res, nil
+}
+
+func honestNodes(k int, adv Adversary) []int {
+	bad := make(map[int]bool)
+	for _, id := range adv.CorruptNodes() {
+		bad[id] = true
+	}
+	out := make([]int, 0, k)
+	for id := 0; id < k; id++ {
+		if !bad[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,315 @@
+package core
+
+// The pipeline layer wires the paper's three protocol steps — prepare,
+// decode, verify — as explicit stages over the transport and scheduler
+// layers. Each stage observes context cancellation at entry and inside
+// its hot loops, so a cancelled run returns promptly no matter which
+// stage it is in.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"camelot/internal/ff"
+	"camelot/internal/poly"
+	"camelot/internal/rs"
+)
+
+// Report records what a Camelot run did: sizing, timing, adversary
+// damage, and verification outcome. All durations are wall-clock per
+// phase; MaxNodeCompute approximates the paper's per-node time E and
+// TotalNodeCompute the total work EK.
+type Report struct {
+	// Problem is the Problem.Name of the run.
+	Problem string
+	// Nodes is K, the number of compute nodes.
+	Nodes int
+	// Width, Degree, CodeLength, FaultTolerance echo the run geometry
+	// (CodeLength is e = Degree+1+2·FaultTolerance).
+	Width, Degree, CodeLength, FaultTolerance int
+	// Primes are the proof moduli.
+	Primes []uint64
+	// ProofSymbols is the total proof size in field symbols.
+	ProofSymbols int
+	// ByzantineNodes are the adversary-controlled node ids.
+	ByzantineNodes []int
+	// SuspectNodes are the nodes the honest decoders identified as having
+	// contributed corrupted shares (union across decoders).
+	SuspectNodes []int
+	// CorruptedShares is the largest number of error locations any single
+	// decoder observed (per prime and coordinate, maximized).
+	CorruptedShares int
+	// ComputeWall is the wall-clock duration of the distributed
+	// evaluation phase.
+	ComputeWall time.Duration
+	// MaxNodeCompute is the largest single node's evaluation time (≈ E).
+	MaxNodeCompute time.Duration
+	// TotalNodeCompute is the summed evaluation time of all nodes (≈ EK).
+	TotalNodeCompute time.Duration
+	// DecodeWall is the wall-clock duration of the decode phase.
+	DecodeWall time.Duration
+	// VerifyPerTrial is the average duration of one verification trial.
+	VerifyPerTrial time.Duration
+	// VerifyTrials is the number of spot checks performed.
+	VerifyTrials int
+	// Verified reports whether every trial accepted.
+	Verified bool
+}
+
+// engine holds one run's resolved geometry and shared state; its methods
+// are the pipeline stages.
+type engine struct {
+	p      Problem
+	opts   Options
+	w, d   int // width, degree bound
+	e, k   int // code length, node count (clamped to e)
+	primes []uint64
+	assign PointAssignment
+	codes  []*rs.Code
+	report *Report
+}
+
+// newEngine validates the problem geometry, selects the proof moduli,
+// and builds the per-prime Reed–Solomon codes.
+func newEngine(p Problem, opts Options) (*engine, error) {
+	opts = opts.withDefaults()
+	d := p.Degree()
+	w := p.Width()
+	if w <= 0 || d < 0 {
+		return nil, fmt.Errorf("invalid geometry width=%d degree=%d", w, d)
+	}
+	e := d + 1 + 2*opts.FaultTolerance
+	k := opts.Nodes
+	if k > e {
+		k = e // more nodes than points is pointless; trailing nodes would idle
+	}
+	minQ := p.MinModulus()
+	if minQ < uint64(e)+1 {
+		minQ = uint64(e) + 1
+	}
+	order := 1
+	for order < 2*e {
+		order <<= 1
+	}
+	primes, err := ChoosePrimes(p.NumPrimes(), minQ, order)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]*rs.Code, len(primes))
+	for pi, q := range primes {
+		ring := poly.NewRing(ff.Field{Q: q})
+		code, err := rs.New(ring, rs.ConsecutivePoints(e), d)
+		if err != nil {
+			return nil, fmt.Errorf("building code mod %d: %w", q, err)
+		}
+		codes[pi] = code
+	}
+	return &engine{
+		p: p, opts: opts, w: w, d: d, e: e, k: k,
+		primes: primes,
+		assign: NewPointAssignment(e, k),
+		codes:  codes,
+		report: &Report{
+			Problem:        p.Name(),
+			Nodes:          k,
+			Width:          w,
+			Degree:         d,
+			CodeLength:     e,
+			FaultTolerance: opts.FaultTolerance,
+			Primes:         primes,
+			ByzantineNodes: append([]int(nil), opts.Adversary.CorruptNodes()...),
+			VerifyTrials:   opts.VerifyTrials,
+		},
+	}, nil
+}
+
+// Run executes the full Camelot protocol for the problem: distributed
+// proof preparation on a bounded worker pool over opts.Nodes logical
+// nodes, per-node Gao decoding with failed-node identification,
+// cross-node agreement check, and randomized verification. It returns
+// the decoded proof even when verification fails (callers inspect the
+// error).
+func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) {
+	en, err := newEngine(p, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
+	}
+	all, err := en.stagePrepare(ctx)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
+	}
+	proof, err := en.stageDecode(ctx, all)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
+	}
+	if err := en.stageVerify(ctx, proof); err != nil {
+		return proof, en.report, fmt.Errorf("core: %s: %w", p.Name(), err)
+	}
+	return proof, en.report, nil
+}
+
+// stagePrepare is protocol step 1 (distributed encoded proof
+// preparation): every node evaluates its owned block of the codeword for
+// every prime and coordinate and broadcasts it as one message over the
+// transport; the collector gathers all K messages.
+func (en *engine) stagePrepare(ctx context.Context) ([]NodeShares, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr := en.opts.NewTransport(en.k)
+	sched := newScheduler(en.opts.MaxParallelism)
+	computeStart := time.Now()
+	// Failure on either side of the transport must cancel the other:
+	// a pool (Send) failure cancels the gather so the collector cannot
+	// wait forever on messages that will never arrive, and a gather
+	// failure cancels the senders so a bounded transport cannot leave
+	// them blocked on a dead collector.
+	sendCtx, cancelSend := context.WithCancel(ctx)
+	defer cancelSend()
+	gatherCtx, cancelGather := context.WithCancel(ctx)
+	defer cancelGather()
+	poolDone := make(chan error, 1)
+	go func() {
+		err := sched.run(sendCtx, en.k, func(id int) error {
+			return tr.Send(sendCtx, en.computeNode(sendCtx, id))
+		})
+		if err != nil {
+			cancelGather()
+		}
+		poolDone <- err
+	}()
+	msgs, gatherErr := tr.Gather(gatherCtx, en.k)
+	if gatherErr != nil {
+		cancelSend()
+	}
+	poolErr := <-poolDone
+	// Prefer the root cause over the cancellation it triggered on the
+	// other side.
+	for _, err := range []error{poolErr, gatherErr} {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	if gatherErr != nil {
+		return nil, gatherErr
+	}
+	all, err := collectShares(msgs, en.k)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range all {
+		en.report.TotalNodeCompute += m.Elapsed
+		if m.Elapsed > en.report.MaxNodeCompute {
+			en.report.MaxNodeCompute = m.Elapsed
+		}
+	}
+	en.report.ComputeWall = time.Since(computeStart)
+	return all, nil
+}
+
+// computeNode evaluates one node's owned point range for every prime.
+// Failures travel in-band in NodeShares.Err so the collector can
+// attribute them to the node.
+func (en *engine) computeNode(ctx context.Context, id int) NodeShares {
+	lo, hi := en.assign.Range(id)
+	m := NodeShares{ID: id, Lo: lo, Hi: hi, Vals: make([][][]uint64, len(en.primes))}
+	start := time.Now()
+	for pi, q := range en.primes {
+		vals, err := evaluateRange(ctx, en.p, q, lo, hi, en.w)
+		if err != nil {
+			m.Err = fmt.Errorf("node %d: %w", id, err)
+			return m
+		}
+		m.Vals[pi] = vals
+	}
+	m.Elapsed = time.Since(start)
+	return m
+}
+
+// stageDecode is protocol step 2 (error correction during preparation):
+// every honest node assembles its own received word — the adversary may
+// equivocate per recipient — decodes it independently on the worker
+// pool, and the decoded proofs are checked for agreement.
+func (en *engine) stageDecode(ctx context.Context, all []NodeShares) (*Proof, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	honest := honestNodes(en.k, en.opts.Adversary)
+	if len(honest) == 0 {
+		return nil, ErrNoHonestNodes
+	}
+	decoders := honest
+	if en.opts.DecodingNodes > 0 && en.opts.DecodingNodes < len(decoders) {
+		decoders = decoders[:en.opts.DecodingNodes]
+	}
+
+	decodeStart := time.Now()
+	results := make([]*decodeResult, len(decoders))
+	sched := newScheduler(en.opts.MaxParallelism)
+	err := sched.run(ctx, len(decoders), func(di int) error {
+		recipient := decoders[di]
+		res, err := decodeAsNode(ctx, recipient, en.primes, en.codes, all, en.assign, en.opts.Adversary, en.w, en.e)
+		if err != nil {
+			return fmt.Errorf("node %d decoding: %w", recipient, err)
+		}
+		results[di] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	en.report.DecodeWall = time.Since(decodeStart)
+
+	// Agreement: all decoders must have recovered the same proof.
+	first := results[0]
+	for _, res := range results[1:] {
+		if !first.sameProof(res) {
+			return nil, ErrProofDisagreement
+		}
+	}
+	suspects := map[int]bool{}
+	for _, res := range results {
+		for nid := range res.suspects {
+			suspects[nid] = true
+		}
+		if res.maxErrors > en.report.CorruptedShares {
+			en.report.CorruptedShares = res.maxErrors
+		}
+	}
+	en.report.SuspectNodes = sortedKeys(suspects)
+
+	proof := &Proof{
+		Primes: en.primes,
+		Degree: en.d,
+		Width:  en.w,
+		Points: rs.ConsecutivePoints(en.e),
+		Coeffs: first.coeffs,
+		Evals:  first.evals,
+	}
+	en.report.ProofSymbols = proof.Size()
+	return proof, nil
+}
+
+// stageVerify is protocol step 3 (independent verification): the
+// randomized spot check of the decoded proof against the input.
+func (en *engine) stageVerify(ctx context.Context, proof *Proof) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	verifyStart := time.Now()
+	ok, err := verifyProof(ctx, en.p, proof, en.opts.VerifyTrials, en.opts.Seed)
+	if err != nil {
+		return fmt.Errorf("verification: %w", err)
+	}
+	en.report.VerifyPerTrial = time.Since(verifyStart) / time.Duration(en.opts.VerifyTrials)
+	en.report.Verified = ok
+	if !ok {
+		return ErrVerificationFailed
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowProblem sleeps per evaluation, for cancellation-promptness tests.
+type slowProblem struct {
+	degree int
+	delay  time.Duration
+}
+
+var _ Problem = (*slowProblem)(nil)
+
+func (p *slowProblem) Name() string       { return "slow" }
+func (p *slowProblem) Width() int         { return 1 }
+func (p *slowProblem) Degree() int        { return p.degree }
+func (p *slowProblem) MinModulus() uint64 { return 257 }
+func (p *slowProblem) NumPrimes() int     { return 1 }
+func (p *slowProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	time.Sleep(p.delay)
+	return []uint64{x0 % q}, nil
+}
+
+// batchPolyProblem wraps polyProblem with a block path, optionally
+// sabotaged to return malformed blocks.
+type batchPolyProblem struct {
+	*polyProblem
+	blockCalls atomic.Int64
+	badRows    bool
+	badWidth   bool
+}
+
+var _ BatchProblem = (*batchPolyProblem)(nil)
+
+func (p *batchPolyProblem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
+	p.blockCalls.Add(1)
+	if p.badRows {
+		return make([][]uint64, len(xs)+1), nil
+	}
+	out := make([][]uint64, len(xs))
+	for i, x := range xs {
+		vec, err := p.polyProblem.Evaluate(q, x)
+		if err != nil {
+			return nil, err
+		}
+		if p.badWidth {
+			vec = vec[:1]
+		}
+		out[i] = vec
+	}
+	return out, nil
+}
+
+func TestRunUsesBatchPath(t *testing.T) {
+	bp := &batchPolyProblem{polyProblem: testProblem()}
+	pointProof, _, err := Run(context.Background(), bp.polyProblem, Options{Nodes: 3, FaultTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchProof, rep, err := Run(context.Background(), bp, Options{Nodes: 3, FaultTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.blockCalls.Load() == 0 {
+		t.Fatal("EvaluateBlock was never called")
+	}
+	if !rep.Verified {
+		t.Fatal("batch run not verified")
+	}
+	q := pointProof.Primes[0]
+	for w := range pointProof.Coeffs[q] {
+		for j := range pointProof.Coeffs[q][w] {
+			if pointProof.Coeffs[q][w][j] != batchProof.Coeffs[q][w][j] {
+				t.Fatal("batch and per-point proofs differ")
+			}
+		}
+	}
+}
+
+func TestRunRejectsMalformedBlocks(t *testing.T) {
+	for name, bp := range map[string]*batchPolyProblem{
+		"wrong-rows":  {polyProblem: testProblem(), badRows: true},
+		"wrong-width": {polyProblem: testProblem(), badWidth: true},
+	} {
+		if _, _, err := Run(context.Background(), bp, Options{Nodes: 2}); err == nil {
+			t.Fatalf("%s: malformed EvaluateBlock output accepted", name)
+		}
+	}
+}
+
+func TestRunMaxParallelismOneMatchesDefault(t *testing.T) {
+	p := testProblem()
+	serial, _, err := Run(context.Background(), p, Options{Nodes: 6, FaultTolerance: 3, MaxParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, _, err := Run(context.Background(), p, Options{Nodes: 6, FaultTolerance: 3, MaxParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := serial.Primes[0]
+	for w := range serial.Coeffs[q] {
+		for j := range serial.Coeffs[q][w] {
+			if serial.Coeffs[q][w][j] != pooled.Coeffs[q][w][j] {
+				t.Fatal("worker pool size changed the proof")
+			}
+		}
+	}
+}
+
+func TestSchedulerBoundsParallelism(t *testing.T) {
+	const workers, tasks = 3, 20
+	var cur, peak atomic.Int64
+	s := newScheduler(workers)
+	err := s.run(context.Background(), tasks, func(int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", got, workers)
+	}
+}
+
+func TestSchedulerFirstErrorWinsAndStops(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	s := newScheduler(1)
+	err := s.run(context.Background(), 100, func(id int) error {
+		ran.Add(1)
+		if id == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Fatalf("pool kept scheduling after error: %d tasks ran", n)
+	}
+}
+
+func TestBroadcastBusRoundTrip(t *testing.T) {
+	bus := NewBroadcastBus(3)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for id := 0; id < 3; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := bus.Send(ctx, NodeShares{ID: id, Lo: id, Hi: id + 1}); err != nil {
+				t.Error(err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	msgs, err := bus.Gather(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := collectShares(msgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, m := range all {
+		if m.ID != id || m.Lo != id {
+			t.Fatalf("message %d misfiled: %+v", id, m)
+		}
+	}
+}
+
+func TestCollectSharesDetectsProtocolViolations(t *testing.T) {
+	if _, err := collectShares([]NodeShares{{ID: 0}, {ID: 0}}, 2); err == nil {
+		t.Fatal("duplicate sender accepted")
+	}
+	if _, err := collectShares([]NodeShares{{ID: 5}}, 2); err == nil {
+		t.Fatal("out-of-range sender accepted")
+	}
+	if _, err := collectShares([]NodeShares{{ID: 0}}, 2); err == nil {
+		t.Fatal("missing sender accepted")
+	}
+	boom := errors.New("node exploded")
+	if _, err := collectShares([]NodeShares{{ID: 0}, {ID: 1, Err: boom}}, 2); !errors.Is(err, boom) {
+		t.Fatalf("in-band node error not surfaced: %v", err)
+	}
+}
+
+// countingTransport wraps the bus to prove custom transports plug in.
+type countingTransport struct {
+	*BroadcastBus
+	sends atomic.Int64
+}
+
+func (c *countingTransport) Send(ctx context.Context, m NodeShares) error {
+	c.sends.Add(1)
+	return c.BroadcastBus.Send(ctx, m)
+}
+
+func TestRunWithCustomTransport(t *testing.T) {
+	ct := &countingTransport{}
+	opts := Options{
+		Nodes: 4,
+		NewTransport: func(k int) Transport {
+			ct.BroadcastBus = NewBroadcastBus(k)
+			return ct
+		},
+	}
+	_, rep, err := Run(context.Background(), testProblem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("not verified over custom transport")
+	}
+	if got := ct.sends.Load(); got != int64(rep.Nodes) {
+		t.Fatalf("transport saw %d sends, want %d", got, rep.Nodes)
+	}
+}
+
+// blockingSendTransport models a bounded transport with a dead
+// collector: Send blocks until cancelled, Gather fails immediately.
+type blockingSendTransport struct {
+	gatherErr error
+}
+
+func (tr *blockingSendTransport) Send(ctx context.Context, m NodeShares) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func (tr *blockingSendTransport) Gather(ctx context.Context, k int) ([]NodeShares, error) {
+	return nil, tr.gatherErr
+}
+
+func TestRunFailingGatherDoesNotDeadlock(t *testing.T) {
+	boom := errors.New("collector died")
+	opts := Options{
+		Nodes:        4,
+		NewTransport: func(k int) Transport { return &blockingSendTransport{gatherErr: boom} },
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Run(context.Background(), testProblem(), opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want the gather failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run deadlocked: gather failure did not cancel blocked senders")
+	}
+}
+
+func TestEvaluateRangeChunksBatchWithCancellationChecks(t *testing.T) {
+	bp := &batchPolyProblem{polyProblem: testProblem()}
+	ctx := context.Background()
+	const q, lo, hi = 257, 0, 2*maxBatchChunk + 10
+	batch, err := evaluateRange(ctx, bp, q, lo, hi, bp.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := bp.blockCalls.Load(); calls != 3 {
+		t.Fatalf("range of %d points used %d blocks, want 3 chunks of <= %d", hi-lo, calls, maxBatchChunk)
+	}
+	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, bp.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(batch) != fmt.Sprint(point) {
+		t.Fatal("chunked batch evaluation disagrees with per-point fallback")
+	}
+	// A cancelled context must be noticed before any chunk runs.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	before := bp.blockCalls.Load()
+	if _, err := evaluateRange(cancelled, bp, q, lo, hi, bp.Width()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if bp.blockCalls.Load() != before {
+		t.Fatal("EvaluateBlock ran despite cancelled context")
+	}
+}
+
+func TestRunCancelledContextPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// 100ms per evaluation × 30 points: an un-cancelled run would take
+	// seconds even fully parallel; a prompt abort takes microseconds.
+	p := &slowProblem{degree: 29, delay: 100 * time.Millisecond}
+	start := time.Now()
+	_, _, err := Run(ctx, p, Options{Nodes: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+}
+
+func TestRunCancelMidEvaluation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &slowProblem{degree: 39, delay: 10 * time.Millisecond}
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// Serial execution would need 40 × 10ms = 400ms of evaluation.
+	_, _, err := Run(ctx, p, Options{Nodes: 4, MaxParallelism: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("mid-run cancellation took %v", elapsed)
+	}
+}
+
+func TestEveryStageReturnsCtxErr(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	bg := context.Background()
+	p := testProblem()
+
+	en, err := newEngine(p, Options{Nodes: 3, FaultTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.stagePrepare(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("prepare: err = %v, want context.Canceled", err)
+	}
+	all, err := en.stagePrepare(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.stageDecode(cancelled, all); !errors.Is(err, context.Canceled) {
+		t.Fatalf("decode: err = %v, want context.Canceled", err)
+	}
+	proof, err := en.stageDecode(bg, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en.stageVerify(cancelled, proof); !errors.Is(err, context.Canceled) {
+		t.Fatalf("verify: err = %v, want context.Canceled", err)
+	}
+	if err := en.stageVerify(bg, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointAssignmentTilesExactly(t *testing.T) {
+	// Property sweep: Range intervals must tile [0, e) in order with no
+	// gaps or overlaps, and Owner must agree with Range — including the
+	// per==0 branch (more nodes than points, only reachable through
+	// direct PointAssignment construction since Run clamps k <= e).
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ e, k int }{
+		{1, 1}, {1, 2}, {2, 5}, {3, 5}, {5, 5}, {7, 3}, {16, 8}, {100, 7}, {99, 100},
+	}
+	for trial := 0; trial < 200; trial++ {
+		cases = append(cases, struct{ e, k int }{e: 1 + rng.Intn(200), k: 1 + rng.Intn(40)})
+	}
+	for _, tc := range cases {
+		pa := NewPointAssignment(tc.e, tc.k)
+		next := 0
+		for id := 0; id < tc.k; id++ {
+			lo, hi := pa.Range(id)
+			if lo != next {
+				t.Fatalf("e=%d k=%d: Range(%d) starts at %d, want %d (gap or overlap)", tc.e, tc.k, id, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("e=%d k=%d: Range(%d) = [%d,%d) inverted", tc.e, tc.k, id, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				if own := pa.Owner(i); own != id {
+					t.Fatalf("e=%d k=%d: Owner(%d) = %d, want %d", tc.e, tc.k, i, own, id)
+				}
+			}
+			next = hi
+		}
+		if next != tc.e {
+			t.Fatalf("e=%d k=%d: ranges cover [0,%d), want [0,%d)", tc.e, tc.k, next, tc.e)
+		}
+	}
+}
+
+func TestUniformUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, q := range []uint64{2, 3, 17, 257, 1 << 20, (1 << 62) + 57} {
+		for i := 0; i < 2000; i++ {
+			if v := uniformUint64(rng, q); v >= q {
+				t.Fatalf("uniformUint64(%d) = %d out of range", q, v)
+			}
+		}
+	}
+	// For q just above 2^63, half of all uint64 draws must be rejected;
+	// a biased modulo would pile those onto small residues. Check the
+	// observed mean is near q/2 (far from q/4, the biased mean).
+	q := uint64(1)<<63 + 29
+	var sum float64
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		sum += float64(uniformUint64(rng, q))
+	}
+	mean := sum / draws
+	if mean < float64(q)/2*0.9 || mean > float64(q)/2*1.1 {
+		t.Fatalf("mean %.3g not near q/2 = %.3g — rejection sampling broken", mean, float64(q)/2)
+	}
+}
+
+func TestVerifyProofDeterministicPerSeed(t *testing.T) {
+	p := testProblem()
+	proof, _, err := Run(context.Background(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a, err := VerifyProof(p, proof, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := VerifyProof(p, proof, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b || !a {
+			t.Fatalf("seed %d: verification not deterministic or rejected a true proof", seed)
+		}
+	}
+}
+
+func TestEvaluateRangeFallbackMatchesBatch(t *testing.T) {
+	bp := &batchPolyProblem{polyProblem: testProblem()}
+	ctx := context.Background()
+	const q, lo, hi = 257, 2, 9
+	w := bp.Width()
+	batch, err := evaluateRange(ctx, bp, q, lo, hi, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(batch) != fmt.Sprint(point) {
+		t.Fatalf("batch %v != per-point %v", batch, point)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+// The scheduler layer bounds the protocol's concurrency: instead of one
+// goroutine per node (which at K = e meant thousands of goroutines for
+// large codewords), node and decoder tasks run on a worker pool of
+// Options.MaxParallelism goroutines. It also owns the evaluation
+// contract: problems that implement BatchProblem get their whole owned
+// point range per prime in one call, amortizing per-prime setup; others
+// fall back to point-at-a-time Evaluate.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchProblem is an optional extension of Problem: EvaluateBlock
+// computes P at many points of one prime in a single call, returning
+// one row (P_0(x), ..., P_{Width-1}(x)) per requested point. The
+// framework hands each node its owned point range in blocks of up to
+// maxBatchChunk consecutive points, so implementations can do
+// per-prime input reduction once per block instead of once per point.
+// Results must be identical to point-wise Evaluate — the verification
+// stage evaluates through Evaluate, so a divergent batch path fails
+// verification rather than silently corrupting the proof.
+type BatchProblem interface {
+	Problem
+	EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error)
+}
+
+// maxBatchChunk caps how many points one EvaluateBlock call receives:
+// large enough that per-prime setup is fully amortized, small enough
+// that context cancellation is observed with bounded latency even when
+// every point is expensive.
+const maxBatchChunk = 256
+
+// scheduler runs indexed tasks on a bounded worker pool.
+type scheduler struct {
+	workers int
+}
+
+// newScheduler clamps the pool size: 0 (the default) means
+// runtime.GOMAXPROCS, matching the machine's true parallelism.
+func newScheduler(maxParallelism int) scheduler {
+	if maxParallelism <= 0 {
+		maxParallelism = runtime.GOMAXPROCS(0)
+	}
+	return scheduler{workers: maxParallelism}
+}
+
+// run executes task(0..n-1) on the pool and returns the first task
+// error. A task error or context cancellation stops new tasks from
+// starting; tasks already running are expected to observe ctx
+// themselves.
+func (s scheduler) run(ctx context.Context, n int, task func(id int) error) error {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	ids := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ids {
+				if poolCtx.Err() != nil {
+					return
+				}
+				if err := task(id); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for id := 0; id < n; id++ {
+		select {
+		case ids <- id:
+		case <-poolCtx.Done():
+			break feed
+		}
+	}
+	close(ids)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// evaluateRange computes vals[coord][x-lo] = P_coord(x) mod q for the
+// point range [lo, hi), through EvaluateBlock when the problem supports
+// it and point-at-a-time Evaluate otherwise.
+func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width int) ([][]uint64, error) {
+	vals := make([][]uint64, width)
+	for c := range vals {
+		vals[c] = make([]uint64, hi-lo)
+	}
+	if bp, ok := p.(BatchProblem); ok {
+		for start := lo; start < hi; start += maxBatchChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			end := start + maxBatchChunk
+			if end > hi {
+				end = hi
+			}
+			xs := make([]uint64, end-start)
+			for i := range xs {
+				xs[i] = uint64(start + i)
+			}
+			rows, err := bp.EvaluateBlock(q, xs)
+			if err != nil {
+				return nil, fmt.Errorf("evaluating block [%d,%d) mod %d: %w", start, end, q, err)
+			}
+			if len(rows) != len(xs) {
+				return nil, fmt.Errorf("EvaluateBlock returned %d rows, want %d", len(rows), len(xs))
+			}
+			for i, vec := range rows {
+				if len(vec) != width {
+					return nil, fmt.Errorf("EvaluateBlock row %d has %d coords, want %d", i, len(vec), width)
+				}
+				for c, v := range vec {
+					vals[c][start-lo+i] = v % q
+				}
+			}
+		}
+		return vals, nil
+	}
+	for x := lo; x < hi; x++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		vec, err := p.Evaluate(q, uint64(x))
+		if err != nil {
+			return nil, fmt.Errorf("evaluating P(%d) mod %d: %w", x, q, err)
+		}
+		if len(vec) != width {
+			return nil, fmt.Errorf("Evaluate returned %d coords, want %d", len(vec), width)
+		}
+		for c, v := range vec {
+			vals[c][x-lo] = v % q
+		}
+	}
+	return vals, nil
+}

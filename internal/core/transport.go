@@ -1,0 +1,114 @@
+package core
+
+// The transport layer carries the protocol's single message kind — a
+// node's broadcast of its evaluated shares — from the prepare stage to
+// the decode stage. The paper's model is a reliable broadcast bus; the
+// Transport interface keeps that as the default while leaving room for
+// sharded or lossy transports (message loss and corruption in flight are
+// already modeled separately by the Adversary, which acts on received
+// words, not on the transport).
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// NodeShares is the broadcast message a node contributes: its
+// evaluations for every prime, coordinate, and owned point.
+type NodeShares struct {
+	// ID is the sending node.
+	ID int
+	// Lo, Hi delimit the owned point-index range [Lo, Hi).
+	Lo, Hi int
+	// Vals is indexed [prime][coord][point-Lo].
+	Vals [][][]uint64
+	// Elapsed is the node's evaluation time.
+	Elapsed time.Duration
+	// Err is a node-side evaluation failure, reported in-band so the
+	// collector can attribute it.
+	Err error
+}
+
+// Transport moves NodeShares messages from compute nodes to the
+// collector. Implementations must be safe for concurrent Send calls.
+type Transport interface {
+	// Send broadcasts one node's shares. It may block (a bounded or
+	// networked transport) and must honor ctx cancellation.
+	Send(ctx context.Context, m NodeShares) error
+	// Gather blocks until k messages have arrived (or ctx is cancelled)
+	// and returns them in arbitrary order.
+	Gather(ctx context.Context, k int) ([]NodeShares, error)
+}
+
+// TransportFactory builds a fresh Transport for a run of k nodes. A
+// factory rather than an instance, because a Transport holds per-run
+// message state while Options values are routinely reused across runs.
+type TransportFactory func(k int) Transport
+
+// BroadcastBus is the default in-memory transport: a reliable,
+// order-preserving broadcast channel with capacity for every node's
+// message, so Send never blocks in a fault-free run.
+type BroadcastBus struct {
+	ch chan NodeShares
+}
+
+var _ Transport = (*BroadcastBus)(nil)
+
+// NewBroadcastBus returns a bus buffered for k messages.
+func NewBroadcastBus(k int) *BroadcastBus {
+	if k < 1 {
+		k = 1
+	}
+	return &BroadcastBus{ch: make(chan NodeShares, k)}
+}
+
+// Send implements Transport.
+func (b *BroadcastBus) Send(ctx context.Context, m NodeShares) error {
+	select {
+	case b.ch <- m:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Gather implements Transport.
+func (b *BroadcastBus) Gather(ctx context.Context, k int) ([]NodeShares, error) {
+	out := make([]NodeShares, 0, k)
+	for len(out) < k {
+		select {
+		case m := <-b.ch:
+			out = append(out, m)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// collectShares orders k gathered messages by node id and surfaces any
+// in-band node failure.
+func collectShares(msgs []NodeShares, k int) ([]NodeShares, error) {
+	all := make([]NodeShares, k)
+	seen := make([]bool, k)
+	for _, m := range msgs {
+		if m.ID < 0 || m.ID >= k {
+			return nil, fmt.Errorf("transport delivered message from unknown node %d", m.ID)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("transport delivered duplicate message from node %d", m.ID)
+		}
+		if m.Err != nil {
+			return nil, m.Err
+		}
+		seen[m.ID] = true
+		all[m.ID] = m
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("transport delivered no message from node %d", id)
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+// Randomized verification (paper §1.3 step 3, eq. (2)): any entity
+// checks the decoded proof against the input with one fresh evaluation
+// of P at a uniform random point per trial.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"camelot/internal/ff"
+)
+
+// VerifyProof runs the paper's randomized check (eq. (2)): for each of
+// trials rounds and each modulus it draws a uniform x0 and compares one
+// fresh evaluation of P(x0) with Horner evaluation of the claimed
+// coefficients, for every coordinate. A correct proof always passes; a
+// forged one survives a round with probability at most d/q.
+//
+// This is also the Merlin–Arthur mode: Arthur runs VerifyProof against a
+// proof Merlin supplied, spending only a single node's evaluation effort
+// per trial.
+func VerifyProof(p Problem, proof *Proof, trials int, seed int64) (bool, error) {
+	return verifyProof(context.Background(), p, proof, trials, seed)
+}
+
+// verifyProof is the context-aware engine form of VerifyProof: the
+// cancellation check runs once per (trial, prime) pair, so even a slow
+// problem aborts after at most one stray evaluation.
+func verifyProof(ctx context.Context, p Problem, proof *Proof, trials int, seed int64) (bool, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		for _, q := range proof.Primes {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			f := ff.Field{Q: q}
+			x0 := uniformUint64(rng, q)
+			want, err := p.Evaluate(q, x0)
+			if err != nil {
+				return false, fmt.Errorf("evaluating P(%d) mod %d: %w", x0, q, err)
+			}
+			coeffs, ok := proof.Coeffs[q]
+			if !ok {
+				return false, fmt.Errorf("proof missing modulus %d", q)
+			}
+			for c := 0; c < proof.Width; c++ {
+				if f.Horner(coeffs[c], x0) != want[c]%q {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// uniformUint64 draws a uniform value in [0, q) by rejection sampling:
+// a plain rng.Uint64() % q overrepresents small residues by up to
+// 2^64 mod q draws, a bias the soundness bound d/q does not account
+// for. Values at or above the largest multiple of q below 2^64 are
+// redrawn (at most one redraw expected for any q >= 2).
+func uniformUint64(rng *rand.Rand, q uint64) uint64 {
+	if q == 0 {
+		panic("core: uniformUint64 with q = 0")
+	}
+	rem := (math.MaxUint64%q + 1) % q // 2^64 mod q
+	if rem == 0 {
+		return rng.Uint64() % q // q divides 2^64: no bias to reject
+	}
+	limit := math.MaxUint64 - rem // last acceptable value: ⌊2^64/q⌋·q - 1
+	for {
+		v := rng.Uint64()
+		if v <= limit {
+			return v % q
+		}
+	}
+}

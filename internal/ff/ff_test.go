@@ -298,3 +298,28 @@ func BenchmarkLagrangeVector(b *testing.B) {
 		_ = f.LagrangeAtOneBased(1<<14, 1<<19)
 	}
 }
+
+func TestLagrangeEvaluatorMatchesOneShot(t *testing.T) {
+	f := Must(1048583)
+	for _, bigR := range []int{1, 2, 7, 64, 343} {
+		one := f.NewLagrangeEvaluatorOneBased(bigR)
+		zero := f.NewLagrangeEvaluatorZeroBased(bigR)
+		out := make([]uint64, bigR)
+		for _, x0 := range []uint64{0, 1, uint64(bigR), uint64(bigR) + 1, 54321, f.Q - 1} {
+			wantOne := f.LagrangeAtOneBased(bigR, x0)
+			gotOne := one.At(x0, out)
+			for i := range wantOne {
+				if gotOne[i] != wantOne[i] {
+					t.Fatalf("R=%d x0=%d one-based pos %d: %d != %d", bigR, x0, i, gotOne[i], wantOne[i])
+				}
+			}
+			wantZero := f.LagrangeAtZeroBased(bigR, x0)
+			gotZero := zero.At(x0, out)
+			for i := range wantZero {
+				if gotZero[i] != wantZero[i] {
+					t.Fatalf("R=%d x0=%d zero-based pos %d: %d != %d", bigR, x0, i, gotZero[i], wantZero[i])
+				}
+			}
+		}
+	}
+}

@@ -90,6 +90,94 @@ func (f Field) LagrangeAtZeroBased(bigR int, x0 uint64) []uint64 {
 	return out
 }
 
+// LagrangeEvaluator amortizes repeated Lagrange basis evaluations over a
+// fixed consecutive grid (base..base+R-1, base 0 or 1): the
+// factorial-derived denominator factors are inverted once at
+// construction, so At costs one pass of multiplications plus a single
+// field inversion per point and reuses its scratch between calls. This
+// is the batch-evaluation workhorse: problems evaluating their proof
+// polynomial at a whole block of points build one evaluator per prime.
+//
+// An evaluator is NOT safe for concurrent use (shared scratch); build
+// one per goroutine.
+//
+// Kept separate from the one-shot LagrangeAt*Based kernels on purpose:
+// the one-shot folds the per-point factor into a single batch
+// inversion (cheaper for a single evaluation), the evaluator splits
+// fixed from per-point factors (cheaper across many), and the two
+// derivations cross-check each other in TestLagrangeEvaluatorMatchesOneShot.
+type LagrangeEvaluator struct {
+	f    Field
+	bigR int
+	base uint64 // first grid point: 0 or 1
+	// invFixed[i] = 1 / ((-1)^{R-1-i} F_i F_{R-1-i}) for grid position i.
+	invFixed []uint64
+	diffs    []uint64 // scratch: (x0 - point_i), then its inverses
+}
+
+// NewLagrangeEvaluatorOneBased prepares an evaluator for the grid 1..R —
+// the reusable form of LagrangeAtOneBased.
+func (f Field) NewLagrangeEvaluatorOneBased(bigR int) *LagrangeEvaluator {
+	return f.newLagrangeEvaluator(bigR, 1)
+}
+
+// NewLagrangeEvaluatorZeroBased prepares an evaluator for the grid
+// 0..R-1 — the reusable form of LagrangeAtZeroBased.
+func (f Field) NewLagrangeEvaluatorZeroBased(bigR int) *LagrangeEvaluator {
+	return f.newLagrangeEvaluator(bigR, 0)
+}
+
+func (f Field) newLagrangeEvaluator(bigR int, base uint64) *LagrangeEvaluator {
+	fact := make([]uint64, bigR)
+	fact[0] = 1
+	for j := 1; j < bigR; j++ {
+		fact[j] = f.Mul(fact[j-1], uint64(j)%f.Q)
+	}
+	invFixed := make([]uint64, bigR)
+	for i := 0; i < bigR; i++ {
+		d := f.Mul(fact[i], fact[bigR-1-i])
+		if (bigR-1-i)%2 == 1 {
+			d = f.Neg(d)
+		}
+		invFixed[i] = d
+	}
+	f.BatchInv(invFixed)
+	return &LagrangeEvaluator{
+		f: f, bigR: bigR, base: base,
+		invFixed: invFixed,
+		diffs:    make([]uint64, bigR),
+	}
+}
+
+// At writes the basis vector (Λ_base(x0), ..., Λ_{base+R-1}(x0)) into
+// out (which must have length R) and returns it. out may be reused
+// across calls.
+func (le *LagrangeEvaluator) At(x0 uint64, out []uint64) []uint64 {
+	f := le.f
+	if len(out) != le.bigR {
+		panic("ff: LagrangeEvaluator.At output length mismatch")
+	}
+	x0 %= f.Q
+	if x0 >= le.base && x0 < le.base+uint64(le.bigR) {
+		for i := range out {
+			out[i] = 0
+		}
+		out[x0-le.base] = 1
+		return out
+	}
+	gamma := uint64(1)
+	for i := 0; i < le.bigR; i++ {
+		diff := f.Sub(x0, (le.base+uint64(i))%f.Q)
+		le.diffs[i] = diff
+		gamma = f.Mul(gamma, diff)
+	}
+	f.BatchInv(le.diffs)
+	for i := 0; i < le.bigR; i++ {
+		out[i] = f.Mul(gamma, f.Mul(le.invFixed[i], le.diffs[i]))
+	}
+	return out
+}
+
 // Horner evaluates the polynomial with coefficient slice coeffs
 // (coeffs[j] is the coefficient of x^j) at x, mod q. This is the
 // verifier's right-hand side of paper eq. (2).

@@ -226,3 +226,32 @@ func TestHammingIdenticalMatrices(t *testing.T) {
 		}
 	}
 }
+
+func TestOVEvaluateBlockMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randBool(rng, 12, 7, 0.4)
+	b := randBool(rng, 15, 7, 0.4)
+	p, err := NewOVProblem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = uint64(1048583)
+	xs := make([]uint64, 0, 40)
+	for x := uint64(0); x < 20; x++ { // covers the indicator grid 1..12
+		xs = append(xs, x)
+	}
+	xs = append(xs, 54321, 999983%q)
+	rows, err := p.EvaluateBlock(q, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want, err := p.Evaluate(q, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows[i]) != 1 || rows[i][0] != want[0] {
+			t.Fatalf("block P(%d) = %v, point path %v", x, rows[i], want)
+		}
+	}
+}

@@ -23,7 +23,10 @@ type Problem struct {
 	phi  int64
 }
 
-var _ core.Problem = (*Problem)(nil)
+var (
+	_ core.Problem      = (*Problem)(nil)
+	_ core.BatchProblem = (*Problem)(nil)
+)
 
 // NewProblem builds the problem for a square integer matrix.
 func NewProblem(a [][]int64) (*Problem, error) {
@@ -167,6 +170,113 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 		}
 	}
 	return []uint64{total}, nil
+}
+
+// EvaluateBlock implements core.BatchProblem. The per-point Evaluate
+// spends its time in two places: the O(2^{n/2}·n) Gray-code sweep over
+// suffix assignments (half of which is maintaining the suffix row sums)
+// and the O(2^{n/2}) Lagrange vector. Across a block the suffix row
+// sums and Gray-code bookkeeping are identical for every point, so this
+// path updates them once per step for the whole block and reuses one
+// Lagrange evaluator — roughly halving the per-point work for large
+// blocks.
+//
+// Deliberately NOT shared with Evaluate: verification re-evaluates
+// through the per-point path, so the two independent implementations
+// cross-check each other and a batch bug fails verification loudly
+// instead of silently corrupting the recovered permanent.
+func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
+	f := ff.Field{Q: q}
+	n, half := p.n, p.half
+	rest := n - half
+	m := len(xs)
+	out := make([][]uint64, m)
+	if m == 0 {
+		return out, nil
+	}
+	le := f.NewLagrangeEvaluatorZeroBased(1 << uint(half))
+	phi := make([]uint64, 1<<uint(half))
+	z := make([]uint64, half)
+	// Per-point prefix state: row sums over the D(x)-swept columns and
+	// the prefix sign product.
+	rowP := make([]uint64, m*n)
+	signP := make([]uint64, m)
+	for xi, x0 := range xs {
+		le.At(x0, phi)
+		for j := range z {
+			z[j] = 0
+		}
+		for i, v := range phi {
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < half; j++ {
+				if i&(1<<uint(j)) != 0 {
+					z[j] = f.Add(z[j], v)
+				}
+			}
+		}
+		base := xi * n
+		for i := 0; i < n; i++ {
+			acc := uint64(0)
+			for j := 0; j < half; j++ {
+				acc = f.Add(acc, f.Mul(f.Reduce(p.a[i][j]), z[j]))
+			}
+			rowP[base+i] = acc
+		}
+		sign := uint64(1)
+		if n%2 == 1 {
+			sign = f.Neg(sign)
+		}
+		for j := 0; j < half; j++ {
+			sign = f.Mul(sign, f.Sub(1, f.Mul(2%f.Q, z[j])))
+		}
+		signP[xi] = sign
+	}
+	// One shared Gray-code sweep: suffix row sums rowS and the suffix
+	// popcount advance once per step for every point in the block.
+	totals := make([]uint64, m)
+	rowS := make([]uint64, n)
+	gray := uint64(0)
+	ones := 0
+	for iter := uint64(0); ; iter++ {
+		neg := ones%2 == 1
+		for xi := 0; xi < m; xi++ {
+			sign := signP[xi]
+			if neg {
+				sign = f.Neg(sign)
+			}
+			prod := sign
+			base := xi * n
+			for i := 0; i < n && prod != 0; i++ {
+				prod = f.Mul(prod, f.Add(rowP[base+i], rowS[i]))
+			}
+			totals[xi] = f.Add(totals[xi], prod)
+		}
+		if iter+1 == 1<<uint(rest) {
+			break
+		}
+		bit := trailingZeros(iter + 1)
+		mask := uint64(1) << uint(bit)
+		col := half + bit
+		if gray&mask == 0 {
+			gray |= mask
+			ones++
+			for i := 0; i < n; i++ {
+				rowS[i] = f.Add(rowS[i], f.Reduce(p.a[i][col]))
+			}
+		} else {
+			gray &^= mask
+			ones--
+			for i := 0; i < n; i++ {
+				rowS[i] = f.Sub(rowS[i], f.Reduce(p.a[i][col]))
+			}
+		}
+	}
+	for xi := range out {
+		out[xi] = []uint64{totals[xi]}
+	}
+	return out, nil
 }
 
 // Recover reconstructs per A = Σ_{i=0}^{2^{n/2}-1} P(i) with the signed

@@ -174,3 +174,44 @@ func BenchmarkRyser12(b *testing.B) {
 		_ = Ryser(a)
 	}
 }
+
+func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{4, 7, 10} {
+		a := randMatrix(rng, n, -3, 3)
+		p, err := NewProblem(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const q = uint64(1048583)
+		// Mix grid points (indicator Lagrange) and far-off points.
+		xs := []uint64{0, 1, 2, uint64(1)<<uint(n/2) + 5, 99991 % q, 123456 % q}
+		rows, err := p.EvaluateBlock(q, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(xs) {
+			t.Fatalf("n=%d: %d rows, want %d", n, len(rows), len(xs))
+		}
+		for i, x := range xs {
+			want, err := p.Evaluate(q, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows[i]) != 1 || rows[i][0] != want[0] {
+				t.Fatalf("n=%d: block P(%d) = %v, point path %v", n, x, rows[i], want)
+			}
+		}
+	}
+}
+
+func TestEvaluateBlockEmpty(t *testing.T) {
+	p, err := NewProblem([][]int64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := p.EvaluateBlock(1048583, nil)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty block: rows=%v err=%v", rows, err)
+	}
+}

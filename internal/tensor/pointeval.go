@@ -1,0 +1,80 @@
+package tensor
+
+// Batch point evaluation. AlphaMatrixAtPoint and friends rebuild the
+// reduced base matrices, the Lagrange factorial tables, and the digit
+// fan-out for every call — and each of the three families recomputes the
+// same R-vector (Λ_1(x0), ..., Λ_R(x0)). A PointEvaluator hoists all of
+// that per-prime setup so that evaluating the coefficient matrices over
+// a whole block of points pays it once.
+
+import (
+	"camelot/internal/ff"
+	"camelot/internal/matrix"
+	"camelot/internal/yates"
+)
+
+// PointEvaluator evaluates the interpolated coefficient matrices
+// [α(x0)], [β(x0)], [γ(x0)] at many points of one prime, sharing the
+// reduced bases, the Lagrange denominator inverses, and the index
+// fan-out table across points — and the Lagrange vector itself across
+// the three families at each point.
+//
+// Not safe for concurrent use (shared scratch); build one per goroutine.
+type PointEvaluator struct {
+	dc                  Decomposition
+	f                   ff.Field
+	lag                 *ff.LagrangeEvaluator
+	baseA, baseB, baseG []uint64
+	idx                 []int    // matrix cell (row*N+col) -> Yates output index
+	lam                 []uint64 // scratch: per-point Lagrange vector
+}
+
+// NewPointEvaluator prepares the per-prime evaluation state.
+func (dc Decomposition) NewPointEvaluator(f ff.Field) *PointEvaluator {
+	n := dc.N()
+	idx := make([]int, n*n)
+	rowDigits := make([]int, dc.T)
+	colDigits := make([]int, dc.T)
+	for row := 0; row < n; row++ {
+		digitsOf(row, dc.N0, rowDigits)
+		for col := 0; col < n; col++ {
+			digitsOf(col, dc.N0, colDigits)
+			ix := 0
+			for j := 0; j < dc.T; j++ {
+				ix = ix*dc.N0*dc.N0 + rowDigits[j]*dc.N0 + colDigits[j]
+			}
+			idx[row*n+col] = ix
+		}
+	}
+	return &PointEvaluator{
+		dc:    dc,
+		f:     f,
+		lag:   f.NewLagrangeEvaluatorOneBased(dc.R()),
+		baseA: dc.baseMod(f, kindAlpha),
+		baseB: dc.baseMod(f, kindBeta),
+		baseG: dc.baseMod(f, kindGamma),
+		idx:   idx,
+		lam:   make([]uint64, dc.R()),
+	}
+}
+
+// MatricesAt evaluates the three coefficient matrices at x0 with one
+// Lagrange vector and three Yates pushes.
+func (pe *PointEvaluator) MatricesAt(x0 uint64) (alpha, beta, gamma *matrix.Matrix) {
+	lam := pe.lag.At(x0, pe.lam)
+	return pe.fanOut(pe.baseA, lam), pe.fanOut(pe.baseB, lam), pe.fanOut(pe.baseG, lam)
+}
+
+// fanOut pushes the Lagrange vector through one base's Kronecker power
+// and scatters the result into matrix layout via the precomputed index
+// table.
+func (pe *PointEvaluator) fanOut(base, lam []uint64) *matrix.Matrix {
+	dc := pe.dc
+	y := yates.Transform(pe.f, base, dc.N0*dc.N0, dc.R0, dc.T, lam)
+	n := dc.N()
+	out := matrix.New(pe.f, n, n)
+	for i, ix := range pe.idx {
+		out.A[i] = y[ix]
+	}
+	return out
+}

@@ -161,3 +161,19 @@ func TestPowPanicsOnPower(t *testing.T) {
 	}()
 	Strassen().Pow(2).Pow(2)
 }
+
+func TestPointEvaluatorMatchesAtPoint(t *testing.T) {
+	f := ff.Must(1048583)
+	for _, dc := range []Decomposition{Strassen().Pow(2), Trivial(2).Pow(2), Strassen().Pow(3)} {
+		pe := dc.NewPointEvaluator(f)
+		for _, x0 := range []uint64{0, 1, 5, uint64(dc.R()), uint64(dc.R()) + 3, 987654} {
+			alpha, beta, gamma := pe.MatricesAt(x0)
+			if !alpha.Equal(dc.AlphaMatrixAtPoint(f, x0)) ||
+				!beta.Equal(dc.BetaMatrixAtPoint(f, x0)) ||
+				!gamma.Equal(dc.GammaMatrixAtPoint(f, x0)) {
+				t.Fatalf("N0=%d R0=%d T=%d x0=%d: PointEvaluator disagrees with per-call path",
+					dc.N0, dc.R0, dc.T, x0)
+			}
+		}
+	}
+}
