@@ -187,7 +187,10 @@ func (p *Problem) formFor(q uint64) (*Form, error) {
 	if fm, ok := p.forms[q]; ok {
 		return fm, nil
 	}
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	chi := matrix.New(f, p.padN, p.padN)
 	for i := 0; i < p.sm.N; i++ {
 		copy(chi.A[i*p.padN:i*p.padN+p.sm.N], p.sm.Entries[i*p.sm.N:(i+1)*p.sm.N])
@@ -309,7 +312,10 @@ func CountNesetrilPoljak(g *graph.Graph, k int) (*big.Int, error) {
 	}
 	residues := make([]uint64, len(primes))
 	for i, q := range primes {
-		f := ff.Field{Q: q}
+		f, err := ff.New(q)
+		if err != nil {
+			return nil, err
+		}
 		chi, err := matrix.FromSlice(f, sm.N, sm.N, sm.Entries)
 		if err != nil {
 			return nil, err

@@ -88,7 +88,7 @@ func (p *Problem) columns(q uint64) (*poly.Ring, [][]uint64) {
 	if cs, ok := p.coeffs[q]; ok {
 		return p.rings[q], cs
 	}
-	ring := poly.NewRing(ff.Field{Q: q})
+	ring := poly.NewRing(ff.Must(q)) // q originates from the framework's prime selection
 	points := make([]uint64, p.n)
 	for i := range points {
 		points[i] = uint64(i + 1)
@@ -111,7 +111,10 @@ func (p *Problem) columns(q uint64) (*poly.Ring, [][]uint64) {
 // polynomial T of eq. (42). The n/2+1 evaluation points of every column
 // polynomial are batched through fast multipoint evaluation.
 func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	ring, cs := p.columns(q)
 	half := p.n / 2
 	pts := make([]uint64, half+1)

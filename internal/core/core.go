@@ -84,7 +84,7 @@ type Proof struct {
 // Eval returns P_w(x) mod prime, using the corrected evaluation table
 // when x is one of the code points and Horner otherwise.
 func (p *Proof) Eval(prime uint64, w int, x uint64) uint64 {
-	f := ff.Field{Q: prime}
+	f := ff.Must(prime) // proofs carry framework-selected primes; memoized, so cheap per call
 	if x < uint64(len(p.Points)) {
 		return p.Evals[prime][w][x]
 	}
@@ -95,7 +95,7 @@ func (p *Proof) Eval(prime uint64, w int, x uint64) uint64 {
 // sum used by problems whose answer is an evaluation sum (permanent, set
 // covers, triangle trace, clique form).
 func (p *Proof) SumRange(prime uint64, w int, lo, hi uint64) uint64 {
-	f := ff.Field{Q: prime}
+	f := ff.Must(prime)
 	acc := uint64(0)
 	for x := lo; x < hi; x++ {
 		acc = f.Add(acc, p.Eval(prime, w, x))

@@ -44,7 +44,7 @@ func (p *polyProblem) NumPrimes() int {
 	return p.primes
 }
 func (p *polyProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f := ff.Must(q)
 	out := make([]uint64, len(p.coeffs))
 	for w, cs := range p.coeffs {
 		acc := uint64(0)
@@ -68,7 +68,7 @@ func (liarProblem) Degree() int        { return 1 }
 func (liarProblem) MinModulus() uint64 { return 101 }
 func (liarProblem) NumPrimes() int     { return 1 }
 func (liarProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f := ff.Must(q)
 	return []uint64{f.Mul(x0, x0)}, nil
 }
 
@@ -93,7 +93,7 @@ func TestRunCleanSingleNode(t *testing.T) {
 	}
 	// Coefficients must match the plain polynomial.
 	q := proof.Primes[0]
-	f := ff.Field{Q: q}
+	f := ff.Must(q)
 	for w, cs := range p.coeffs {
 		for j, c := range cs {
 			if proof.Coeffs[q][w][j] != f.Reduce(c) {
@@ -149,7 +149,7 @@ func TestRunWithLyingNodesIdentifiesCulprits(t *testing.T) {
 	}
 	// Proof must still be the true polynomial.
 	q := proof.Primes[0]
-	f := ff.Field{Q: q}
+	f := ff.Must(q)
 	if proof.Coeffs[q][0][0] != f.Reduce(3) {
 		t.Fatal("corrupted run decoded wrong proof")
 	}
@@ -258,7 +258,7 @@ func TestProofEvalAndSumRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := proof.Primes[0]
-	f := ff.Field{Q: q}
+	f := ff.Must(q)
 	// Eval inside the table and beyond it must agree with the polynomial.
 	for _, x := range []uint64{0, 3, uint64(len(proof.Points)), 99999 % q} {
 		want, _ := p.Evaluate(q, x)

@@ -99,7 +99,11 @@ func newEngine(p Problem, opts Options) (*engine, error) {
 	}
 	codes := make([]*rs.Code, len(primes))
 	for pi, q := range primes {
-		ring := poly.NewRing(ff.Field{Q: q})
+		f, err := ff.New(q)
+		if err != nil {
+			return nil, fmt.Errorf("building field mod %d: %w", q, err)
+		}
+		ring := poly.NewRing(f)
 		code, err := rs.New(ring, rs.ConsecutivePoints(e), d)
 		if err != nil {
 			return nil, fmt.Errorf("building code mod %d: %w", q, err)

@@ -21,6 +21,8 @@ import (
 // framework hands each node its owned point range in blocks of up to
 // maxBatchChunk consecutive points, so implementations can do
 // per-prime input reduction once per block instead of once per point.
+// The xs slice is reused between calls; implementations must not retain
+// it past the call.
 // Results must be identical to point-wise Evaluate — the verification
 // stage evaluates through Evaluate, so a divergent batch path fails
 // verification rather than silently corrupting the proof.
@@ -114,6 +116,9 @@ func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width int) 
 		vals[c] = make([]uint64, hi-lo)
 	}
 	if bp, ok := p.(BatchProblem); ok {
+		// One chunk buffer for the whole range; EvaluateBlock must not
+		// retain its argument (see the BatchProblem contract).
+		xs := make([]uint64, 0, maxBatchChunk)
 		for start := lo; start < hi; start += maxBatchChunk {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -122,7 +127,7 @@ func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width int) 
 			if end > hi {
 				end = hi
 			}
-			xs := make([]uint64, end-start)
+			xs = xs[:end-start]
 			for i := range xs {
 				xs[i] = uint64(start + i)
 			}

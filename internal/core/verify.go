@@ -39,7 +39,10 @@ func verifyProof(ctx context.Context, p Problem, proof *Proof, trials int, seed 
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			f := ff.Field{Q: q}
+			f, err := ff.New(q)
+			if err != nil {
+				return false, err
+			}
 			x0 := uniformUint64(rng, q)
 			want, err := p.Evaluate(q, x0)
 			if err != nil {

@@ -233,7 +233,10 @@ func (p *Problem) formsFor(q uint64) ([]*cliques.Form, error) {
 	if fs, ok := p.forms[q]; ok {
 		return fs, nil
 	}
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	w := p.totalWeight
 	fs := make([]*cliques.Form, w+1)
 	for w0 := 0; w0 <= w; w0++ {
@@ -272,7 +275,10 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	alpha := p.dc.AlphaMatrixAtPoint(f, x0)
 	beta := p.dc.BetaMatrixAtPoint(f, x0)
 	gamma := p.dc.GammaMatrixAtPoint(f, x0)

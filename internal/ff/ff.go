@@ -4,17 +4,33 @@
 //
 // All element values are canonical residues in [0, q). Operations never
 // allocate; a Field is a small value type that is cheap to copy.
+//
+// # Division-free reduction
+//
+// A Field built by New (or Must) carries a precomputed reciprocal of its
+// modulus, so Mul, Exp, ReduceU, and Horner reduce 128-bit intermediates
+// with two multiplications and a few shifts — no hardware division
+// instruction — via Möller–Granlund 2-by-1 division against the
+// normalized modulus (the Barrett idea with a word-sized reciprocal).
+// Construct Fields only through New/Must: a Field assembled as a struct
+// literal has no reciprocal and Mul/ReduceU panic on it. The old
+// division-based reduction survives as an unexported reference
+// implementation that differential tests in this package pin the
+// reciprocal path against, bit for bit. A repo-level lint test forbids
+// ff.Field literals outside this package.
 package ff
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // MaxPrime is the largest modulus the package accepts. Keeping q below
 // 2^62 guarantees that a+b never wraps uint64 and that 128-bit product
-// reduction via bits.Div64 cannot trap (quotient always fits).
+// reduction cannot overflow its quotient (hi < q always holds for
+// canonical operands).
 const MaxPrime = 1<<62 - 1
 
 // ErrNotPrime is returned by New when the requested modulus fails the
@@ -24,23 +40,133 @@ var ErrNotPrime = errors.New("ff: modulus is not prime")
 // Field is the prime field Z_q. The zero value is invalid; construct
 // with New (checked) or Must (panics on error, for constants in tests).
 type Field struct {
-	// Q is the prime modulus.
+	// Q is the prime modulus. Read-only; treat the whole struct as opaque
+	// and construct only through New/Must so the reduction kernel below
+	// is populated.
 	Q uint64
+	// k is the division-free reduction kernel (see Kernel).
+	k Kernel
 }
 
-// New returns the field Z_q, verifying that q is prime and in range.
+// Kernel is the precomputed reduction state of a Field: the
+// normalization shift s = bits.LeadingZeros64(Q), the normalized modulus
+// d = Q<<s (top bit set), and the Möller–Granlund reciprocal
+// v = floor((2^128-1)/d) - 2^64. v is zero iff the Field skipped the
+// constructor.
+//
+// Kernel exists as a separate value type for one reason: a free function
+// taking (a, b uint64, k Kernel) fits the compiler's inlining budget,
+// while the equivalent Field method does not. Hot loops hoist the kernel
+// once — k := f.Kernel() — and call MulK(a, b, k) per element; everything
+// else should use the Field methods. The fields are unexported so a
+// Kernel cannot be forged or modified outside this package.
+type Kernel struct {
+	s uint64 // normalization shift
+	d uint64 // normalized modulus Q << s
+	v uint64 // reciprocal of d
+}
+
+// Kernel returns the field's reduction kernel for use with MulK in
+// inline-critical loops. It panics on a Field that skipped the
+// constructor.
+func (f Field) Kernel() Kernel {
+	if f.k.v == 0 {
+		panic("ff: Field not built by New/Must")
+	}
+	return f.k
+}
+
+// MulK returns a*b mod q for canonical operands a, b < q — exactly
+// Field.Mul, written as a free function so it inlines into hot loops.
+//
+// Reduction is Möller–Granlund 2-by-1 division by the precomputed
+// reciprocal: two multiplications, one 128-bit add, and two conditional
+// corrections — no div instruction. Pre-shifting one canonical operand
+// normalizes the product for free: a·(b·2^s) = (a·b)·2^s < q·d <=
+// d·2^64, so (hi, lo) is exactly the normalized dividend with hi < d.
+//
+// NOTE: the inlining cost of this function sits exactly at the
+// compiler's budget. After any edit here, verify that
+// `go build -gcflags=-m=2 ./internal/ff` still reports "can inline
+// MulK"; TestMulKStaysInlinable guards it.
+func MulK(a, b uint64, k Kernel) uint64 {
+	hi, lo := bits.Mul64(a, b<<k.s)
+	// Estimate the quotient: qh:ql = hi*v + (hi+1)·2^64 + lo.
+	qh, ql := bits.Mul64(hi, k.v)
+	var carry uint64
+	ql, carry = bits.Add64(ql, lo, 0)
+	qh, _ = bits.Add64(qh, hi+1, carry)
+	// Remainder candidate plus at most two corrections (Möller–Granlund
+	// Algorithm 4; the quotient itself is not needed).
+	r := lo - qh*k.d
+	if r > ql {
+		r += k.d
+	}
+	if r >= k.d {
+		r -= k.d
+	}
+	return r >> k.s
+}
+
+// Shift pre-normalizes a canonical operand for MulKS: in a loop that
+// multiplies a stream by one fixed value (an NTT twiddle, Horner's x, a
+// scalar), the kernel's normalization shift of that value is
+// loop-invariant, and the compiler does not hoist it on its own (no
+// loop-invariant code motion). Shift once, then call MulKS per element.
+func (k Kernel) Shift(b uint64) uint64 { return b << k.s }
+
+// MulKS is MulK with the second operand already normalized by
+// Kernel.Shift: returns a*b mod q where bs = Shift(b) for canonical
+// a, b < q. One shift cheaper than MulK — the difference matters in the
+// tightest loops (NTT butterflies, polynomial division rows), which
+// multiply long streams by per-loop constants.
+func MulKS(a, bs uint64, k Kernel) uint64 {
+	hi, lo := bits.Mul64(a, bs)
+	qh, ql := bits.Mul64(hi, k.v)
+	var carry uint64
+	ql, carry = bits.Add64(ql, lo, 0)
+	qh, _ = bits.Add64(qh, hi+1, carry)
+	r := lo - qh*k.d
+	if r > ql {
+		r += k.d
+	}
+	if r >= k.d {
+		r -= k.d
+	}
+	return r >> k.s
+}
+
+// fieldCache memoizes New per modulus: problems construct a Field per
+// Evaluate call (the modulus travels as a plain uint64 through the
+// Problem interface), so construction must cost a map lookup, not a
+// Miller–Rabin run. Only successful constructions are cached; the number
+// of distinct moduli per process is bounded by the protocol's prime
+// selections.
+var fieldCache sync.Map // uint64 -> Field
+
+// New returns the field Z_q, verifying that q is prime and in range and
+// precomputing the division-free reduction constants. Results are
+// memoized per modulus; New is safe for concurrent use and cheap to call
+// in per-evaluation hot paths.
 func New(q uint64) (Field, error) {
+	if v, ok := fieldCache.Load(q); ok {
+		return v.(Field), nil
+	}
 	if q < 2 || q > MaxPrime {
 		return Field{}, fmt.Errorf("ff: modulus %d out of range [2, 2^62): %w", q, ErrNotPrime)
 	}
 	if !IsPrime(q) {
 		return Field{}, fmt.Errorf("ff: modulus %d: %w", q, ErrNotPrime)
 	}
-	return Field{Q: q}, nil
+	f := newUnchecked(q)
+	fieldCache.Store(q, f)
+	return f, nil
 }
 
-// Must is like New but panics on error. Intended for tests and package
-// initialization of known-prime constants.
+// Must is like New but panics on error. Intended for tests, package
+// initialization of known-prime constants, and call sites whose modulus
+// comes from the framework's own prime selection (where a non-prime is a
+// programming error, not an input error).
 func Must(q uint64) Field {
 	f, err := New(q)
 	if err != nil {
@@ -49,21 +175,39 @@ func Must(q uint64) Field {
 	return f
 }
 
-// Add returns a+b mod q.
+// newUnchecked builds a Field with reduction constants for an arbitrary
+// modulus q >= 2, skipping the primality check. The reduction algebra
+// does not require primality, so this also serves the transient
+// composite moduli inside IsPrime. The one hardware division below is
+// the only one on any constructed Field's lifetime.
+func newUnchecked(q uint64) Field {
+	s := uint64(bits.LeadingZeros64(q))
+	d := q << s
+	v, _ := bits.Div64(^d, ^uint64(0), d) // floor((2^128-1)/d) - 2^64
+	return Field{Q: q, k: Kernel{s: s, d: d, v: v}}
+}
+
+// Add returns a+b mod q for canonical operands. Written as a single
+// conditional assignment so the compiler emits a branch-free CMOV — the
+// condition is data-random in the hot loops, and a mispredicted branch
+// costs more than the whole reduction. (a+b cannot wrap: operands are
+// < q <= MaxPrime < 2^62.)
 func (f Field) Add(a, b uint64) uint64 {
 	s := a + b
-	if s >= f.Q || s < a { // s < a catches wrap, impossible for q < 2^63 but cheap
+	if s >= f.Q {
 		s -= f.Q
 	}
 	return s
 }
 
-// Sub returns a-b mod q.
+// Sub returns a-b mod q for canonical operands. Same CMOV-friendly
+// single-assignment shape as Add.
 func (f Field) Sub(a, b uint64) uint64 {
-	if a >= b {
-		return a - b
+	d := a - b
+	if a < b {
+		d += f.Q
 	}
-	return a + f.Q - b
+	return d
 }
 
 // Neg returns -a mod q.
@@ -74,11 +218,32 @@ func (f Field) Neg(a uint64) uint64 {
 	return f.Q - a
 }
 
-// Mul returns a*b mod q using a 128-bit intermediate product.
+// Mul returns a*b mod q using a 128-bit intermediate product, with the
+// division-free reduction of MulK. Operands must be canonical (< q); the
+// result always is. Mul panics on a Field that skipped the constructor —
+// loud, instead of the silent garbage an uninitialized reciprocal would
+// produce. (The method itself exceeds the inlining budget; loops where
+// the per-call overhead matters hoist f.Kernel() and use MulK.)
 func (f Field) Mul(a, b uint64) uint64 {
-	hi, lo := bits.Mul64(a, b)
+	if f.k.v == 0 {
+		panic("ff: Field not built by New/Must")
+	}
+	return MulK(a, b, f.k)
+}
+
+// reduce128Div is the pre-Barrett reduction: one hardware 128/64
+// division. Kept as the internal reference implementation — differential
+// and fuzz tests pin the reciprocal path against it bit for bit.
+func (f Field) reduce128Div(hi, lo uint64) uint64 {
 	_, rem := bits.Div64(hi, lo, f.Q)
 	return rem
+}
+
+// mulDiv is Mul through the division reference path, for differential
+// tests and benchmarks.
+func (f Field) mulDiv(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return f.reduce128Div(hi, lo)
 }
 
 // Reduce maps an arbitrary signed integer into [0, q).
@@ -90,18 +255,44 @@ func (f Field) Reduce(x int64) uint64 {
 	return uint64(m)
 }
 
-// ReduceU maps an arbitrary unsigned integer into [0, q).
-func (f Field) ReduceU(x uint64) uint64 { return x % f.Q }
+// ReduceU maps an arbitrary unsigned integer into [0, q). Same
+// division-free reduction as Mul, specialized to a one-word dividend.
+func (f Field) ReduceU(x uint64) uint64 {
+	v := f.k.v
+	if v == 0 {
+		panic("ff: Field not built by New/Must")
+	}
+	s := f.k.s
+	d := f.k.d
+	// x is arbitrary, so the dividend x·2^s is normalized by an explicit
+	// 128-bit shift (s <= 62 for constructed fields; Go defines x>>64 as
+	// 0 so even shift 0, for the transient moduli inside IsPrime, works).
+	u1 := x >> (64 - s)
+	u0 := x << s
+	qh, ql := bits.Mul64(u1, v)
+	var carry uint64
+	ql, carry = bits.Add64(ql, u0, 0)
+	qh, _ = bits.Add64(qh, u1+1, carry)
+	r := u0 - qh*d
+	if r > ql {
+		r += d
+	}
+	if r >= d {
+		r -= d
+	}
+	return r >> s
+}
 
 // Exp returns a^e mod q by square-and-multiply.
 func (f Field) Exp(a, e uint64) uint64 {
-	a %= f.Q
+	a = f.ReduceU(a)
+	k := f.k
 	result := uint64(1 % f.Q)
 	for e > 0 {
 		if e&1 == 1 {
-			result = f.Mul(result, a)
+			result = MulK(result, a, k)
 		}
-		a = f.Mul(a, a)
+		a = MulK(a, a, k)
 		e >>= 1
 	}
 	return result
@@ -128,20 +319,32 @@ func (f Field) BatchInv(xs []uint64) {
 	if len(xs) == 0 {
 		return
 	}
-	prefix := make([]uint64, len(xs))
+	f.BatchInvScratch(xs, make([]uint64, len(xs)))
+}
+
+// BatchInvScratch is BatchInv with a caller-provided prefix buffer of at
+// least len(xs) elements, for hot paths that invert repeatedly over the
+// same geometry (e.g. LagrangeEvaluator.At) and would otherwise allocate
+// per call. The scratch contents are overwritten.
+func (f Field) BatchInvScratch(xs, scratch []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	k := f.Kernel()
+	prefix := scratch[:len(xs)]
 	acc := uint64(1)
 	for i, x := range xs {
 		if x == 0 {
 			panic("ff: batch inverse of zero")
 		}
 		prefix[i] = acc
-		acc = f.Mul(acc, x)
+		acc = MulK(acc, x, k)
 	}
 	inv := f.Inv(acc)
 	for i := len(xs) - 1; i >= 0; i-- {
 		x := xs[i]
-		xs[i] = f.Mul(inv, prefix[i])
-		inv = f.Mul(inv, x)
+		xs[i] = MulK(inv, prefix[i], k)
+		inv = MulK(inv, x, k)
 	}
 }
 
@@ -162,23 +365,26 @@ func IsPrime(n uint64) bool {
 		d /= 2
 		r++
 	}
+	// The candidate modulus is composite until proven otherwise, so build
+	// the reduction constants directly (they are valid for any n >= 2).
+	f := newUnchecked(n)
 	// Sinclair's deterministic base set for n < 2^64.
 	for _, a := range [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022} {
 		a %= n
 		if a == 0 {
 			continue
 		}
-		if !millerRabinWitness(n, a, d, r) {
+		if !millerRabinWitness(f, a, d, r) {
 			return false
 		}
 	}
 	return true
 }
 
-// millerRabinWitness reports whether n passes one Miller–Rabin round with
-// base a, where n-1 = d * 2^r with d odd.
-func millerRabinWitness(n, a, d uint64, r int) bool {
-	f := Field{Q: n}
+// millerRabinWitness reports whether n = f.Q passes one Miller–Rabin
+// round with base a, where n-1 = d * 2^r with d odd.
+func millerRabinWitness(f Field, a, d uint64, r int) bool {
+	n := f.Q
 	x := f.Exp(a, d)
 	if x == 1 || x == n-1 {
 		return true
@@ -237,11 +443,11 @@ func NTTPrime(min uint64, order int) (q, root uint64, err error) {
 			return 0, 0, fmt.Errorf("ff: no NTT prime of order 2^%d below 2^62 and >= %d", k, min)
 		}
 		if IsPrime(q) {
-			g, err := primitiveRoot(q)
+			g, err := PrimitiveRoot(q)
 			if err != nil {
 				return 0, 0, err
 			}
-			f := Field{Q: q}
+			f := newUnchecked(q)
 			root = f.Exp(g, (q-1)>>uint(k))
 			return q, root, nil
 		}
@@ -249,11 +455,25 @@ func NTTPrime(min uint64, order int) (q, root uint64, err error) {
 	}
 }
 
-// primitiveRoot finds a generator of the multiplicative group of Z_q.
-func primitiveRoot(q uint64) (uint64, error) {
+// rootCache memoizes PrimitiveRoot per modulus: the search factorizes
+// q-1 and tests candidate generators, which poly.NewRing would otherwise
+// repeat on every ring construction (rings are rebuilt per prime per
+// run).
+var rootCache sync.Map // uint64 -> uint64
+
+// PrimitiveRoot returns a generator of the multiplicative group of Z_q
+// for prime q. Results are memoized per modulus; safe for concurrent
+// use. For composite q (no generator need exist) an error is returned.
+func PrimitiveRoot(q uint64) (uint64, error) {
+	if g, ok := rootCache.Load(q); ok {
+		return g.(uint64), nil
+	}
+	if q < 2 {
+		return 0, fmt.Errorf("ff: no primitive root mod %d", q)
+	}
 	phi := q - 1
 	factors := factorize(phi)
-	f := Field{Q: q}
+	f := newUnchecked(q)
 	for g := uint64(2); g < q; g++ {
 		ok := true
 		for _, p := range factors {
@@ -263,6 +483,7 @@ func primitiveRoot(q uint64) (uint64, error) {
 			}
 		}
 		if ok {
+			rootCache.Store(q, g)
 			return g, nil
 		}
 	}

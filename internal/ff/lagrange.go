@@ -9,37 +9,52 @@ package ff
 //
 // These vectors seed Yates's algorithm when evaluating the interpolated
 // tensor coefficients α_de(x0), β_ef(x0), γ_df(x0).
+//
+// Every kernel requires q > R (checked once per call): the grid points
+// are then distinct canonical residues, so the inner loops use j and r
+// directly without a per-iteration reduction.
+
+// checkGrid panics unless the modulus exceeds the grid size — the
+// documented precondition that lets the kernels skip reducing the grid
+// points and factorial arguments.
+func (f Field) checkGrid(bigR int) {
+	if uint64(bigR) >= f.Q {
+		panic("ff: Lagrange grid size must be smaller than the modulus")
+	}
+}
 
 // LagrangeAtOneBased returns the vector (Λ_1(x0), ..., Λ_R(x0)) mod q for
 // the Lagrange basis over the points 1..R (paper eq. (13)).
 //
 // The modulus must satisfy q > R so the points are distinct mod q.
 func (f Field) LagrangeAtOneBased(bigR int, x0 uint64) []uint64 {
+	f.checkGrid(bigR)
 	out := make([]uint64, bigR)
-	x0 %= f.Q
+	x0 = f.ReduceU(x0)
 	// If x0 is one of the interpolation points the basis is an indicator.
 	if x0 >= 1 && x0 <= uint64(bigR) {
 		out[x0-1] = 1
 		return out
 	}
+	k := f.Kernel()
 	// F_j = j! for j = 0..R-1.
 	fact := make([]uint64, bigR)
 	fact[0] = 1
 	for j := 1; j < bigR; j++ {
-		fact[j] = f.Mul(fact[j-1], uint64(j)%f.Q)
+		fact[j] = MulK(fact[j-1], uint64(j), k)
 	}
 	// Γ(x0) = Π_{j=1..R}(x0 - j), plus per-point denominators.
 	gamma := uint64(1)
 	denoms := make([]uint64, bigR)
 	for r := 1; r <= bigR; r++ {
-		diff := f.Sub(x0, uint64(r)%f.Q)
+		diff := f.Sub(x0, uint64(r))
 		denoms[r-1] = diff
-		gamma = f.Mul(gamma, diff)
+		gamma = MulK(gamma, diff, k)
 	}
 	// denom_r = (-1)^{R-r} F_{r-1} F_{R-r} (x0-r); invert all at once.
 	for r := 1; r <= bigR; r++ {
-		d := f.Mul(fact[r-1], fact[bigR-r])
-		d = f.Mul(d, denoms[r-1])
+		d := MulK(fact[r-1], fact[bigR-r], k)
+		d = MulK(d, denoms[r-1], k)
 		if (bigR-r)%2 == 1 {
 			d = f.Neg(d)
 		}
@@ -47,7 +62,7 @@ func (f Field) LagrangeAtOneBased(bigR int, x0 uint64) []uint64 {
 	}
 	f.BatchInv(denoms)
 	for r := 0; r < bigR; r++ {
-		out[r] = f.Mul(gamma, denoms[r])
+		out[r] = MulK(gamma, denoms[r], k)
 	}
 	return out
 }
@@ -56,28 +71,32 @@ func (f Field) LagrangeAtOneBased(bigR int, x0 uint64) []uint64 {
 // for the Lagrange basis over the points 0..R-1. This variant serves proof
 // polynomials whose natural evaluation grid starts at zero (permanent, set
 // covers, §3.3 polynomial extension with 1-based ranges shifted).
+//
+// The modulus must satisfy q > R so the points are distinct mod q.
 func (f Field) LagrangeAtZeroBased(bigR int, x0 uint64) []uint64 {
+	f.checkGrid(bigR)
 	out := make([]uint64, bigR)
-	x0 %= f.Q
+	x0 = f.ReduceU(x0)
 	if x0 < uint64(bigR) {
 		out[x0] = 1
 		return out
 	}
+	k := f.Kernel()
 	fact := make([]uint64, bigR)
 	fact[0] = 1
 	for j := 1; j < bigR; j++ {
-		fact[j] = f.Mul(fact[j-1], uint64(j)%f.Q)
+		fact[j] = MulK(fact[j-1], uint64(j), k)
 	}
 	gamma := uint64(1)
 	denoms := make([]uint64, bigR)
 	for i := 0; i < bigR; i++ {
-		diff := f.Sub(x0, uint64(i)%f.Q)
+		diff := f.Sub(x0, uint64(i))
 		denoms[i] = diff
-		gamma = f.Mul(gamma, diff)
+		gamma = MulK(gamma, diff, k)
 	}
 	for i := 0; i < bigR; i++ {
-		d := f.Mul(fact[i], fact[bigR-1-i])
-		d = f.Mul(d, denoms[i])
+		d := MulK(fact[i], fact[bigR-1-i], k)
+		d = MulK(d, denoms[i], k)
 		if (bigR-1-i)%2 == 1 {
 			d = f.Neg(d)
 		}
@@ -85,7 +104,7 @@ func (f Field) LagrangeAtZeroBased(bigR int, x0 uint64) []uint64 {
 	}
 	f.BatchInv(denoms)
 	for i := 0; i < bigR; i++ {
-		out[i] = f.Mul(gamma, denoms[i])
+		out[i] = MulK(gamma, denoms[i], k)
 	}
 	return out
 }
@@ -113,29 +132,32 @@ type LagrangeEvaluator struct {
 	// invFixed[i] = 1 / ((-1)^{R-1-i} F_i F_{R-1-i}) for grid position i.
 	invFixed []uint64
 	diffs    []uint64 // scratch: (x0 - point_i), then its inverses
+	prefix   []uint64 // scratch for the batch inversion's prefix products
 }
 
 // NewLagrangeEvaluatorOneBased prepares an evaluator for the grid 1..R —
-// the reusable form of LagrangeAtOneBased.
+// the reusable form of LagrangeAtOneBased. Requires q > R.
 func (f Field) NewLagrangeEvaluatorOneBased(bigR int) *LagrangeEvaluator {
 	return f.newLagrangeEvaluator(bigR, 1)
 }
 
 // NewLagrangeEvaluatorZeroBased prepares an evaluator for the grid
-// 0..R-1 — the reusable form of LagrangeAtZeroBased.
+// 0..R-1 — the reusable form of LagrangeAtZeroBased. Requires q > R.
 func (f Field) NewLagrangeEvaluatorZeroBased(bigR int) *LagrangeEvaluator {
 	return f.newLagrangeEvaluator(bigR, 0)
 }
 
 func (f Field) newLagrangeEvaluator(bigR int, base uint64) *LagrangeEvaluator {
+	f.checkGrid(bigR)
+	k := f.Kernel()
 	fact := make([]uint64, bigR)
 	fact[0] = 1
 	for j := 1; j < bigR; j++ {
-		fact[j] = f.Mul(fact[j-1], uint64(j)%f.Q)
+		fact[j] = MulK(fact[j-1], uint64(j), k)
 	}
 	invFixed := make([]uint64, bigR)
 	for i := 0; i < bigR; i++ {
-		d := f.Mul(fact[i], fact[bigR-1-i])
+		d := MulK(fact[i], fact[bigR-1-i], k)
 		if (bigR-1-i)%2 == 1 {
 			d = f.Neg(d)
 		}
@@ -146,6 +168,7 @@ func (f Field) newLagrangeEvaluator(bigR int, base uint64) *LagrangeEvaluator {
 		f: f, bigR: bigR, base: base,
 		invFixed: invFixed,
 		diffs:    make([]uint64, bigR),
+		prefix:   make([]uint64, bigR),
 	}
 }
 
@@ -157,7 +180,7 @@ func (le *LagrangeEvaluator) At(x0 uint64, out []uint64) []uint64 {
 	if len(out) != le.bigR {
 		panic("ff: LagrangeEvaluator.At output length mismatch")
 	}
-	x0 %= f.Q
+	x0 = f.ReduceU(x0)
 	if x0 >= le.base && x0 < le.base+uint64(le.bigR) {
 		for i := range out {
 			out[i] = 0
@@ -165,15 +188,17 @@ func (le *LagrangeEvaluator) At(x0 uint64, out []uint64) []uint64 {
 		out[x0-le.base] = 1
 		return out
 	}
+	k := f.Kernel()
 	gamma := uint64(1)
 	for i := 0; i < le.bigR; i++ {
-		diff := f.Sub(x0, (le.base+uint64(i))%f.Q)
+		diff := f.Sub(x0, le.base+uint64(i))
 		le.diffs[i] = diff
-		gamma = f.Mul(gamma, diff)
+		gamma = MulK(gamma, diff, k)
 	}
-	f.BatchInv(le.diffs)
+	f.BatchInvScratch(le.diffs, le.prefix)
+	gs := k.Shift(gamma)
 	for i := 0; i < le.bigR; i++ {
-		out[i] = f.Mul(gamma, f.Mul(le.invFixed[i], le.diffs[i]))
+		out[i] = MulKS(MulK(le.invFixed[i], le.diffs[i], k), gs, k)
 	}
 	return out
 }
@@ -182,9 +207,11 @@ func (le *LagrangeEvaluator) At(x0 uint64, out []uint64) []uint64 {
 // (coeffs[j] is the coefficient of x^j) at x, mod q. This is the
 // verifier's right-hand side of paper eq. (2).
 func (f Field) Horner(coeffs []uint64, x uint64) uint64 {
+	k := f.Kernel()
+	xs := k.Shift(f.ReduceU(x))
 	acc := uint64(0)
 	for j := len(coeffs) - 1; j >= 0; j-- {
-		acc = f.Add(f.Mul(acc, x), coeffs[j])
+		acc = f.Add(MulKS(acc, xs, k), coeffs[j])
 	}
 	return acc
 }

@@ -86,7 +86,10 @@ func (p *Problem) NumPrimes() int {
 // Evaluate implements core.Problem: O*(2^{n/2}) — for each enumerated
 // suffix, one n×n matrix power by repeated squaring.
 func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	n := p.n
 	// z_j = D_j(x0) for vertices 1..half.
 	phi := f.LagrangeAtZeroBased(1<<uint(p.half), x0)

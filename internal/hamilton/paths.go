@@ -81,7 +81,10 @@ func (p *PathProblem) NumPrimes() int {
 
 // Evaluate implements core.Problem.
 func (p *PathProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	n := p.n
 	phi := f.LagrangeAtZeroBased(1<<uint(p.half), x0)
 	z := make([]uint64, n)

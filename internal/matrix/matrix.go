@@ -112,18 +112,21 @@ func (m *Matrix) Sub(o *Matrix) *Matrix {
 // Hadamard returns the entry-wise product m ∘ o.
 func (m *Matrix) Hadamard(o *Matrix) *Matrix {
 	m.mustSameShape(o)
+	k := m.F.Kernel()
 	out := New(m.F, m.R, m.C)
 	for i := range m.A {
-		out.A[i] = m.F.Mul(m.A[i], o.A[i])
+		out.A[i] = ff.MulK(m.A[i], o.A[i], k)
 	}
 	return out
 }
 
 // Scale returns c·m.
 func (m *Matrix) Scale(c uint64) *Matrix {
+	k := m.F.Kernel()
+	cs := k.Shift(c)
 	out := New(m.F, m.R, m.C)
 	for i := range m.A {
-		out.A[i] = m.F.Mul(m.A[i], c)
+		out.A[i] = ff.MulKS(m.A[i], cs, k)
 	}
 	return out
 }
@@ -132,9 +135,10 @@ func (m *Matrix) Scale(c uint64) *Matrix {
 // Nešetřil–Poljak and new-circuit designs.
 func (m *Matrix) DotAll(o *Matrix) uint64 {
 	m.mustSameShape(o)
+	k := m.F.Kernel()
 	acc := uint64(0)
 	for i := range m.A {
-		acc = m.F.Add(acc, m.F.Mul(m.A[i], o.A[i]))
+		acc = m.F.Add(acc, ff.MulK(m.A[i], o.A[i], k))
 	}
 	return acc
 }
@@ -211,16 +215,18 @@ func (m *Matrix) mulClassic(o *Matrix) *Matrix {
 		}
 		return out
 	}
+	fk := f.Kernel()
 	for i := 0; i < m.R; i++ {
 		for k := 0; k < m.C; k++ {
 			a := m.A[i*m.C+k]
 			if a == 0 {
 				continue
 			}
+			as := fk.Shift(a)
 			ork := o.A[k*o.C:]
 			outRow := out.A[i*o.C:]
 			for j := 0; j < o.C; j++ {
-				outRow[j] = f.Add(outRow[j], f.Mul(a, ork[j]))
+				outRow[j] = f.Add(outRow[j], ff.MulKS(ork[j], as, fk))
 			}
 		}
 	}

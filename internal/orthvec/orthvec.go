@@ -86,7 +86,10 @@ func (p *OVProblem) NumPrimes() int { return 1 }
 
 // Evaluate implements core.Problem: Õ(nt) per point.
 func (p *OVProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	lam := f.LagrangeAtOneBased(p.a.N, x0)
 	// A_j(x0) = Σ_i a_ij Λ_{i+1}(x0).
 	acol := make([]uint64, p.a.T)
@@ -101,13 +104,19 @@ func (p *OVProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 			}
 		}
 	}
+	// The per-row product multiplies by (1 - A_j(x0)) for each set bit;
+	// hoist the t complements out of the n-row sweep.
+	k := f.Kernel()
+	for j, v := range acol {
+		acol[j] = k.Shift(f.Sub(1, v)) // pre-shifted for MulKS
+	}
 	total := uint64(0)
-	for k := 0; k < p.b.N; k++ {
-		row := p.b.Bits[k*p.b.T:]
+	for r := 0; r < p.b.N; r++ {
+		row := p.b.Bits[r*p.b.T:]
 		prod := uint64(1)
 		for j := 0; j < p.b.T && prod != 0; j++ {
 			if row[j] == 1 {
-				prod = f.Mul(prod, f.Sub(1, acol[j]))
+				prod = ff.MulKS(prod, acol[j], k)
 			}
 		}
 		total = f.Add(total, prod)
@@ -123,7 +132,11 @@ func (p *OVProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 // two paths go through different Lagrange kernels and cross-check each
 // other.
 func (p *OVProblem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
+	k := f.Kernel()
 	le := f.NewLagrangeEvaluatorOneBased(p.a.N)
 	lam := make([]uint64, p.a.N)
 	acol := make([]uint64, p.a.T)
@@ -144,13 +157,17 @@ func (p *OVProblem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 				}
 			}
 		}
+		for j, v := range acol {
+			// Hoist the pre-shifted complements out of the row sweep.
+			acol[j] = k.Shift(f.Sub(1, v))
+		}
 		total := uint64(0)
-		for k := 0; k < p.b.N; k++ {
-			row := p.b.Bits[k*p.b.T:]
+		for r := 0; r < p.b.N; r++ {
+			row := p.b.Bits[r*p.b.T:]
 			prod := uint64(1)
 			for j := 0; j < p.b.T && prod != 0; j++ {
 				if row[j] == 1 {
-					prod = f.Mul(prod, f.Sub(1, acol[j]))
+					prod = ff.MulKS(prod, acol[j], k)
 				}
 			}
 			total = f.Add(total, prod)
@@ -262,7 +279,10 @@ func (p *HammingProblem) NumPrimes() int { return 1 }
 
 // Evaluate implements core.Problem: Õ(nt²) per point.
 func (p *HammingProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	t := p.a.T
 	phi := f.LagrangeAtZeroBased(p.grid, x0)
 	// Column interpolants z_j = A_j(x0): value a_ij at grid point
@@ -319,7 +339,10 @@ func (p *HammingProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 // Distribution recovers c_ih for i = 1..n, h = 0..t.
 func (p *HammingProblem) Distribution(proof *core.Proof) ([][]int64, error) {
 	q := proof.Primes[0]
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	t := p.a.T
 	out := make([][]int64, p.a.N)
 	for i := 1; i <= p.a.N; i++ {

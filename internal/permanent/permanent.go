@@ -98,9 +98,14 @@ func (p *Problem) NumPrimes() int {
 // Evaluate implements core.Problem: P(x0) = Q(D(x0)) per eq. (44), in
 // O*(2^{n/2}) via a Gray-code sweep of the enumerated suffix half.
 func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	n, half := p.n, p.half
 	rest := n - half
+	k := f.Kernel()
+	am := p.reducedMatrix(f)
 	// z_j = D_j(x0) for the first half of the z variables.
 	phi := f.LagrangeAtZeroBased(1<<uint(half), x0)
 	z := make([]uint64, half)
@@ -119,8 +124,9 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	rowP := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		acc := uint64(0)
+		row := am[i*n : i*n+half]
 		for j := 0; j < half; j++ {
-			acc = f.Add(acc, f.Mul(f.Reduce(p.a[i][j]), z[j]))
+			acc = f.Add(acc, ff.MulK(row[j], z[j], k))
 		}
 		rowP[i] = acc
 	}
@@ -129,7 +135,7 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 		signP = f.Neg(signP)
 	}
 	for j := 0; j < half; j++ {
-		signP = f.Mul(signP, f.Sub(1, f.Mul(2%f.Q, z[j])))
+		signP = ff.MulK(signP, f.Sub(1, ff.MulK(2%f.Q, z[j], k)), k)
 	}
 	// Gray-code sweep over the suffix assignments: maintain per-row
 	// suffix sums and the suffix popcount.
@@ -145,7 +151,7 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 		}
 		prod := sign
 		for i := 0; i < n && prod != 0; i++ {
-			prod = f.Mul(prod, f.Add(rowP[i], rowS[i]))
+			prod = ff.MulK(prod, f.Add(rowP[i], rowS[i]), k)
 		}
 		total = f.Add(total, prod)
 		if iter+1 == 1<<uint(rest) {
@@ -159,17 +165,32 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 			gray |= mask
 			ones++
 			for i := 0; i < n; i++ {
-				rowS[i] = f.Add(rowS[i], f.Reduce(p.a[i][col]))
+				rowS[i] = f.Add(rowS[i], am[i*n+col])
 			}
 		} else {
 			gray &^= mask
 			ones--
 			for i := 0; i < n; i++ {
-				rowS[i] = f.Sub(rowS[i], f.Reduce(p.a[i][col]))
+				rowS[i] = f.Sub(rowS[i], am[i*n+col])
 			}
 		}
 	}
 	return []uint64{total}, nil
+}
+
+// reducedMatrix returns the matrix entries as canonical residues mod
+// f.Q, row-major. Reducing once per call keeps the signed per-entry
+// reductions out of the Gray-code sweep, which touches a column per
+// step.
+func (p *Problem) reducedMatrix(f ff.Field) []uint64 {
+	n := p.n
+	am := make([]uint64, n*n)
+	for i, row := range p.a {
+		for j, v := range row {
+			am[i*n+j] = f.Reduce(v)
+		}
+	}
+	return am
 }
 
 // EvaluateBlock implements core.BatchProblem. The per-point Evaluate
@@ -186,7 +207,10 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 // cross-check each other and a batch bug fails verification loudly
 // instead of silently corrupting the recovered permanent.
 func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	n, half := p.n, p.half
 	rest := n - half
 	m := len(xs)
@@ -194,6 +218,8 @@ func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 	if m == 0 {
 		return out, nil
 	}
+	k := f.Kernel()
+	am := p.reducedMatrix(f)
 	le := f.NewLagrangeEvaluatorZeroBased(1 << uint(half))
 	phi := make([]uint64, 1<<uint(half))
 	z := make([]uint64, half)
@@ -219,8 +245,9 @@ func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 		base := xi * n
 		for i := 0; i < n; i++ {
 			acc := uint64(0)
+			row := am[i*n : i*n+half]
 			for j := 0; j < half; j++ {
-				acc = f.Add(acc, f.Mul(f.Reduce(p.a[i][j]), z[j]))
+				acc = f.Add(acc, ff.MulK(row[j], z[j], k))
 			}
 			rowP[base+i] = acc
 		}
@@ -229,7 +256,7 @@ func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 			sign = f.Neg(sign)
 		}
 		for j := 0; j < half; j++ {
-			sign = f.Mul(sign, f.Sub(1, f.Mul(2%f.Q, z[j])))
+			sign = ff.MulK(sign, f.Sub(1, ff.MulK(2%f.Q, z[j], k)), k)
 		}
 		signP[xi] = sign
 	}
@@ -249,7 +276,7 @@ func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 			prod := sign
 			base := xi * n
 			for i := 0; i < n && prod != 0; i++ {
-				prod = f.Mul(prod, f.Add(rowP[base+i], rowS[i]))
+				prod = ff.MulK(prod, f.Add(rowP[base+i], rowS[i]), k)
 			}
 			totals[xi] = f.Add(totals[xi], prod)
 		}
@@ -263,13 +290,13 @@ func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 			gray |= mask
 			ones++
 			for i := 0; i < n; i++ {
-				rowS[i] = f.Add(rowS[i], f.Reduce(p.a[i][col]))
+				rowS[i] = f.Add(rowS[i], am[i*n+col])
 			}
 		} else {
 			gray &^= mask
 			ones--
 			for i := 0; i < n; i++ {
-				rowS[i] = f.Sub(rowS[i], f.Reduce(p.a[i][col]))
+				rowS[i] = f.Sub(rowS[i], am[i*n+col])
 			}
 		}
 	}

@@ -3,6 +3,22 @@ package poly
 // Number-theoretic transform over NTT-friendly prime fields, used to give
 // the O(d log d) multiplication of paper §2.2 for the large encodes and
 // decodes (proof codewords routinely have thousands of symbols).
+//
+// Transforms run against cached plans: for every (modulus, size) pair the
+// forward and inverse stage twiddle tables, the bit-reversal permutation,
+// and the 1/n scaling constant are computed once and shared process-wide
+// (rings are rebuilt per prime per run, so the cache cannot live on the
+// Ring). Plans also pool transform scratch buffers, so a multiplication
+// allocates only its result. The cache is a sync.Map keyed by (q, n);
+// concurrent lookups are lock-free and a racing build publishes exactly
+// one winner via LoadOrStore. Growth is bounded by the distinct moduli
+// and transform sizes a process touches.
+
+import (
+	"sync"
+
+	"camelot/internal/ff"
+)
 
 // nttSize returns the smallest power of two >= n.
 func nttSize(n int) int {
@@ -13,23 +29,121 @@ func nttSize(n int) int {
 	return s
 }
 
+// planKey identifies a cached transform plan.
+type planKey struct {
+	q uint64
+	n int
+}
+
+var planCache sync.Map // planKey -> *nttPlan
+
+// nttPlan holds everything a size-n transform over one modulus needs
+// beyond the data itself. Plans are immutable after construction apart
+// from the scratch pool.
+type nttPlan struct {
+	n int
+	// rev is the bit-reversal permutation; entry i is the index i's
+	// bit-reversed image.
+	rev []int32
+	// fwd and inv are the stage-major twiddle tables for the forward and
+	// inverse transforms: the stage with butterfly span `length` occupies
+	// half = length/2 consecutive entries holding wl^0..wl^(half-1),
+	// stages in ascending length order, n-1 entries total. Entries are
+	// stored pre-normalized with Kernel.Shift so every butterfly uses the
+	// cheaper ff.MulKS.
+	fwd []uint64
+	inv []uint64
+	// invN is 1/n mod q, the inverse-transform scaling constant, also
+	// pre-shifted for MulKS.
+	invN uint64
+	// bufs pools length-n scratch vectors for mulNTT.
+	bufs sync.Pool
+}
+
+// plan returns the cached transform plan for size n over the ring's
+// modulus, building and publishing it on first use.
+func (r *Ring) plan(n int) *nttPlan {
+	key := planKey{q: r.f.Q, n: n}
+	if p, ok := planCache.Load(key); ok {
+		return p.(*nttPlan)
+	}
+	p := r.buildPlan(n)
+	actual, _ := planCache.LoadOrStore(key, p)
+	return actual.(*nttPlan)
+}
+
+func (r *Ring) buildPlan(n int) *nttPlan {
+	f := r.f
+	k := f.Kernel()
+	w := r.rootOfOrder(n)
+	p := &nttPlan{
+		n:    n,
+		rev:  make([]int32, n),
+		fwd:  stageTwiddles(f, w, n),
+		inv:  stageTwiddles(f, f.Inv(w), n),
+		invN: k.Shift(f.Inv(f.ReduceU(uint64(n)))),
+	}
+	for i, v := range p.fwd {
+		p.fwd[i] = k.Shift(v)
+	}
+	for i, v := range p.inv {
+		p.inv[i] = k.Shift(v)
+	}
+	for i := 1; i < n; i++ {
+		p.rev[i] = p.rev[i>>1]>>1 | int32(i&1)*int32(n>>1)
+	}
+	p.bufs.New = func() any {
+		b := make([]uint64, n)
+		return &b
+	}
+	return p
+}
+
+// stageTwiddles fills the stage-major twiddle table for a transform with
+// primitive n-th root w (see nttPlan.fwd for the layout).
+func stageTwiddles(f ff.Field, w uint64, n int) []uint64 {
+	tw := make([]uint64, n-1)
+	off := 0
+	for length := 2; length <= n; length <<= 1 {
+		// wl = w^(n/length): primitive length-th root.
+		wl := w
+		for m := n; m > length; m >>= 1 {
+			wl = f.Mul(wl, wl)
+		}
+		half := length >> 1
+		wj := uint64(1)
+		for j := 0; j < half; j++ {
+			tw[off+j] = wj
+			wj = f.Mul(wj, wl)
+		}
+		off += half
+	}
+	return tw
+}
+
 // mulNTT multiplies a and b via forward transforms of size n (a power of
 // two that both the product and the field's two-adicity accommodate).
 func (r *Ring) mulNTT(a, b []uint64, n int) []uint64 {
+	p := r.plan(n)
+	f := r.f
+	k := f.Kernel()
+	// fa is returned (truncated) to the caller, so it cannot come from
+	// the pool; fb is pure scratch.
 	fa := make([]uint64, n)
-	fb := make([]uint64, n)
 	copy(fa, a)
+	fbp := p.bufs.Get().(*[]uint64)
+	fb := (*fbp)[:n]
 	copy(fb, b)
-	w := r.rootOfOrder(n)
-	r.ntt(fa, w)
-	r.ntt(fb, w)
+	clear(fb[len(b):])
+	transform(f, fa, p, p.fwd)
+	transform(f, fb, p, p.fwd)
 	for i := range fa {
-		fa[i] = r.f.Mul(fa[i], fb[i])
+		fa[i] = ff.MulK(fa[i], fb[i], k)
 	}
-	r.ntt(fa, r.f.Inv(w)) // inverse transform with w^{-1} ...
-	invN := r.f.Inv(uint64(n) % r.f.Q)
+	p.bufs.Put(fbp)
+	transform(f, fa, p, p.inv)
 	for i := range fa {
-		fa[i] = r.f.Mul(fa[i], invN) // ... plus 1/n scaling
+		fa[i] = ff.MulKS(fa[i], p.invN, k)
 	}
 	return fa[:len(a)+len(b)-1]
 }
@@ -46,37 +160,41 @@ func (r *Ring) rootOfOrder(n int) uint64 {
 	return w
 }
 
-// ntt performs an in-place iterative radix-2 Cooley–Tukey transform of
-// a (length a power of two) with the given primitive root of unity.
-func (r *Ring) ntt(a []uint64, w uint64) {
-	n := len(a)
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j |= bit
-		if i < j {
-			a[i], a[j] = a[j], a[i]
+// transform performs an in-place iterative radix-2 Cooley–Tukey pass of
+// a (length p.n) with the given stage twiddle table (p.fwd or p.inv).
+// The butterfly loop runs on the hoisted reduction kernel so the field
+// multiply inlines (see ff.MulK).
+func transform(f ff.Field, a []uint64, p *nttPlan, tw []uint64) {
+	n := p.n
+	k := f.Kernel()
+	q := f.Q
+	for i, ri := range p.rev {
+		if int32(i) < ri {
+			a[i], a[ri] = a[ri], a[i]
 		}
 	}
+	off := 0
 	for length := 2; length <= n; length <<= 1 {
-		// wl = w^(n/length): primitive length-th root.
-		wl := w
-		for m := n; m > length; m >>= 1 {
-			wl = r.f.Mul(wl, wl)
-		}
+		half := length >> 1
+		ws := tw[off : off+half]
 		for start := 0; start < n; start += length {
-			wj := uint64(1)
-			half := length / 2
-			for j := 0; j < half; j++ {
-				u := a[start+j]
-				v := r.f.Mul(a[start+j+half], wj)
-				a[start+j] = r.f.Add(u, v)
-				a[start+j+half] = r.f.Sub(u, v)
-				wj = r.f.Mul(wj, wl)
+			lo := a[start : start+half : start+half]
+			hi := a[start+half : start+length : start+length]
+			for j, wj := range ws {
+				u := lo[j]
+				v := ff.MulKS(hi[j], wj, k)
+				s := u + v
+				if s >= q {
+					s -= q
+				}
+				lo[j] = s
+				d := u - v
+				if u < v {
+					d += q
+				}
+				hi[j] = d
 			}
 		}
+		off += half
 	}
 }

@@ -11,8 +11,6 @@
 package poly
 
 import (
-	"fmt"
-
 	"camelot/internal/ff"
 )
 
@@ -36,6 +34,9 @@ type Ring struct {
 
 // NewRing returns a polynomial ring over Z_q. If q-1 has enough powers of
 // two, multiplications transparently use the number-theoretic transform.
+// The generator search behind the transform root is delegated to
+// ff.PrimitiveRoot, which memoizes per modulus, so rebuilding a ring for
+// a previously seen prime is cheap.
 func NewRing(f ff.Field) *Ring {
 	r := &Ring{f: f}
 	m := f.Q - 1
@@ -44,42 +45,11 @@ func NewRing(f ff.Field) *Ring {
 		r.twoAdicity++
 	}
 	if r.twoAdicity >= 2 {
-		if g, err := generator(f); err == nil {
+		if g, err := ff.PrimitiveRoot(f.Q); err == nil {
 			r.root = f.Exp(g, (f.Q-1)>>uint(r.twoAdicity))
 		}
 	}
 	return r
-}
-
-// generator finds a multiplicative generator of Z_q^*.
-func generator(f ff.Field) (uint64, error) {
-	phi := f.Q - 1
-	var factors []uint64
-	m := phi
-	for p := uint64(2); p*p <= m; p++ {
-		if m%p == 0 {
-			factors = append(factors, p)
-			for m%p == 0 {
-				m /= p
-			}
-		}
-	}
-	if m > 1 {
-		factors = append(factors, m)
-	}
-	for g := uint64(2); g < f.Q; g++ {
-		ok := true
-		for _, p := range factors {
-			if f.Exp(g, phi/p) == 1 {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return g, nil
-		}
-	}
-	return 0, fmt.Errorf("poly: no generator mod %d", f.Q)
 }
 
 // Field returns the coefficient field.
@@ -189,15 +159,18 @@ func (r *Ring) Mul(a, b []uint64) []uint64 {
 	return Trim(r.mulKaratsuba(a, b))
 }
 
-// mulNaive is the schoolbook product.
+// mulNaive is the schoolbook product, on the hoisted reduction kernel.
 func (r *Ring) mulNaive(a, b []uint64) []uint64 {
+	k := r.f.Kernel()
 	out := make([]uint64, len(a)+len(b)-1)
 	for i, ai := range a {
 		if ai == 0 {
 			continue
 		}
+		ais := k.Shift(ai)
+		row := out[i : i+len(b)]
 		for j, bj := range b {
-			out[i+j] = r.f.Add(out[i+j], r.f.Mul(ai, bj))
+			row[j] = r.f.Add(row[j], ff.MulKS(bj, ais, k))
 		}
 	}
 	return out
@@ -284,15 +257,18 @@ func (r *Ring) DivMod(a, b []uint64) (q, rem []uint64) {
 	rem = make([]uint64, len(a))
 	copy(rem, a)
 	q = make([]uint64, len(a)-len(b)+1)
-	invLead := r.f.Inv(b[len(b)-1])
+	k := r.f.Kernel()
+	invLeadS := k.Shift(r.f.Inv(b[len(b)-1]))
 	for i := len(a) - len(b); i >= 0; i-- {
-		c := r.f.Mul(rem[i+len(b)-1], invLead)
+		c := ff.MulKS(rem[i+len(b)-1], invLeadS, k)
 		if c == 0 {
 			continue
 		}
 		q[i] = c
+		cs := k.Shift(c)
+		row := rem[i : i+len(b)]
 		for j, bj := range b {
-			rem[i+j] = r.f.Sub(rem[i+j], r.f.Mul(c, bj))
+			row[j] = r.f.Sub(row[j], ff.MulKS(bj, cs, k))
 		}
 	}
 	return Trim(q), Trim(rem)

@@ -108,7 +108,10 @@ func (p *ExactCoverProblem) nodeG(f ff.Field, x0 uint64) []bipoly.Poly {
 
 // Evaluate implements core.Problem.
 func (p *ExactCoverProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	g := p.nodeG(f, x0)
 	vals, err := p.split.EvaluateAll(p.split.Ring(f), g, p.t)
 	if err != nil {
@@ -202,7 +205,10 @@ func (p *CoverProblem) NumPrimes() int {
 
 // Evaluate implements core.Problem: P(x0) = F_t(D(x0)) per eq. (45).
 func (p *CoverProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	// D_j(x0) = Σ_{i: bit j of i set} Φ_i(x0) over the grid 0..2^{n1}-1.
 	phi := f.LagrangeAtZeroBased(1<<uint(p.n1), x0)
 	y := make([]uint64, p.n)

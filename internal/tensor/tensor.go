@@ -204,6 +204,7 @@ func (dc Decomposition) coeffMatrixAt(f ff.Field, which kind, r int) *matrix.Mat
 		x /= dc.R0
 	}
 	out := matrix.New(f, n, n)
+	k := f.Kernel()
 	rowDigits := make([]int, dc.T)
 	colDigits := make([]int, dc.T)
 	for row := 0; row < n; row++ {
@@ -212,7 +213,7 @@ func (dc Decomposition) coeffMatrixAt(f ff.Field, which kind, r int) *matrix.Mat
 			digitsOf(col, dc.N0, colDigits)
 			v := uint64(1)
 			for j := 0; j < dc.T; j++ {
-				v = f.Mul(v, b[(rowDigits[j]*dc.N0+colDigits[j])*dc.R0+rd[j]])
+				v = ff.MulK(v, b[(rowDigits[j]*dc.N0+colDigits[j])*dc.R0+rd[j]], k)
 				if v == 0 {
 					break
 				}

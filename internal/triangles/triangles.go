@@ -261,7 +261,11 @@ func (p *Problem) tripleFor(q uint64) (*sparseTriple, error) {
 	if t, ok := p.triples[q]; ok {
 		return t, nil
 	}
-	t, err := newSparseTriple(ff.Field{Q: q}, p.g, p.dc, p.ell)
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
+	t, err := newSparseTriple(f, p.g, p.dc, p.ell)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +279,10 @@ func (p *Problem) Evaluate(q, z0 uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	pa := triple.a.ss.PartsAtPoint(z0)
 	pb := triple.b.ss.PartsAtPoint(z0)
 	pc := triple.c.ss.PartsAtPoint(z0)

@@ -180,7 +180,10 @@ func (p *Problem) nodeG(f ff.Field, x0 uint64) []bipoly.Poly {
 
 // Evaluate implements core.Problem.
 func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	f := ff.Field{Q: q}
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
 	g := p.nodeG(f, x0)
 	return p.split.EvaluateAll(p.split.Ring(f), g, p.n+1)
 }

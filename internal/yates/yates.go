@@ -28,13 +28,27 @@ func Transform(f ff.Field, a []uint64, t, s, k int, x []uint64) []uint64 {
 	if len(x) != pow(s, k) {
 		panic(fmt.Sprintf("yates: input length %d, want %d^%d", len(x), s, k))
 	}
-	cur := make([]uint64, len(x))
+	fk := f.Kernel()
+	// Double-buffer the level fan-out: the per-level result was
+	// previously a fresh allocation, which made the allocator and GC a
+	// visible fraction of tight Kronecker pushes (R0^T levels per fanOut
+	// call). Both buffers are sized to the largest level.
+	maxSize := len(x)
+	for l := 1; l <= k; l++ {
+		if sz := pow(t, l) * pow(s, k-l); sz > maxSize {
+			maxSize = sz
+		}
+	}
+	bufA := make([]uint64, maxSize)
+	bufB := make([]uint64, maxSize)
+	cur := bufA[:len(x)]
 	copy(cur, x)
 	// After level ℓ the shape is [t^ℓ][s^{k-ℓ}]; level ℓ contracts digit ℓ.
 	for l := 1; l <= k; l++ {
 		prefix := pow(t, l-1)
 		suffix := pow(s, k-l)
-		next := make([]uint64, prefix*t*suffix)
+		next := bufB[:prefix*t*suffix]
+		clear(next)
 		for p := 0; p < prefix; p++ {
 			for i := 0; i < t; i++ {
 				row := a[i*s:]
@@ -51,12 +65,14 @@ func Transform(f ff.Field, a []uint64, t, s, k int, x []uint64) []uint64 {
 						}
 						continue
 					}
+					cs := fk.Shift(c)
 					for u := 0; u < suffix; u++ {
-						dst[u] = f.Add(dst[u], f.Mul(c, src[u]))
+						dst[u] = f.Add(dst[u], ff.MulKS(src[u], cs, fk))
 					}
 				}
 			}
 		}
+		bufA, bufB = bufB, bufA
 		cur = next
 	}
 	return cur

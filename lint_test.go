@@ -1,0 +1,56 @@
+package camelot
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoFieldLiteralsOutsideFF enforces the ff constructor contract: a
+// Field assembled as a struct literal skips the precomputed reduction
+// kernel and panics on first multiply, so every construction outside
+// package ff must go through ff.New or ff.Must. This walk backs the
+// guarantee the arithmetic layer documents (see ARCHITECTURE.md,
+// "Arithmetic layer").
+func TestNoFieldLiteralsOutsideFF(t *testing.T) {
+	var offenders []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			if filepath.ToSlash(path) == "internal/ff" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		needle := "ff.Field" + "{" // split so this file does not match itself
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.Contains(line, needle) {
+				offenders = append(offenders, fmt.Sprintf("%s:%d", filepath.ToSlash(path), i+1))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) > 0 {
+		t.Fatalf("ff.Field struct literals outside package ff (use ff.New or ff.Must):\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# bench.sh — run the arithmetic-layer microbenchmarks plus the headline
+# end-to-end benchmarks (E12 Gao decode, E14 batch evaluation) and emit
+# the results as BENCH_<n>.json at the repository root, seeding the
+# perf-trajectory record that PR descriptions quote.
+#
+# Usage: scripts/bench.sh [N]
+#   N        suffix for BENCH_N.json (default 2)
+#   BENCHTIME  overrides the go benchtime (default 2s for micro, 10x for e2e)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-2}"
+MICRO_TIME="${BENCHTIME:-2s}"
+E2E_TIME="${BENCHTIME:-10x}"
+OUT="BENCH_${N}.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== field/NTT microbenchmarks (${MICRO_TIME})" >&2
+go test -run xxx \
+    -bench 'BenchmarkFieldMul|BenchmarkFieldExp|BenchmarkBatchInv|BenchmarkLagrangeEvaluatorAt|BenchmarkNTT/' \
+    -benchtime "$MICRO_TIME" ./internal/ff ./internal/poly | tee -a "$TMP" >&2
+
+echo "== end-to-end benchmarks (${E2E_TIME})" >&2
+go test -run xxx -bench 'BenchmarkE12GaoDecode|BenchmarkE14' \
+    -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
+
+# Fold "Benchmark<name> <iters> <ns> ns/op ..." lines into JSON.
+awk -v host="$(uname -sm)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") { ns[n] = $i; nm[n] = name; n++; break }
+    }
+}
+END {
+    printf "{\n  \"host\": \"%s\",\n  \"benchmarks\": [\n", host
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", nm[i], ns[i], (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT" >&2
