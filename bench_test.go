@@ -481,6 +481,22 @@ func BenchmarkE14BatchKClique(b *testing.B) {
 	benchBatchVsPerPoint(b, p, q, 128)
 }
 
+func BenchmarkE14BatchTriangles(b *testing.B) {
+	g := graph.Gnp(48, 0.25, 7)
+	p, err := triangles.NewProblem(g, tensor.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Evaluate(q, 0); err != nil { // warm the per-prime triple for both paths
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 128)
+}
+
 func BenchmarkE14BatchCNFSAT(b *testing.B) {
 	f := cnfsat.RandomFormula(14, 21, 3, 14)
 	p, err := cnfsat.NewProblem(f)
@@ -492,6 +508,109 @@ func BenchmarkE14BatchCNFSAT(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchBatchVsPerPoint(b, p, q, 128)
+}
+
+// --- E15: session-layer job throughput -----------------------------------------------
+
+// mixedJobProblems builds a mixed E14-style service workload: several
+// fresh counting problems per batch, the way a cluster sees a stream of
+// inputs. Construction cost is part of the job on both sides of the
+// comparison.
+func mixedJobProblems(b *testing.B) []core.Problem {
+	b.Helper()
+	var problems []core.Problem
+	for seed := int64(1); seed <= 3; seed++ {
+		tp, err := triangles.NewProblem(graph.Gnp(24, 0.3, seed), tensor.Strassen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		problems = append(problems, tp)
+		a := make([][]int64, 8)
+		for i := range a {
+			a[i] = make([]int64, 8)
+			for j := range a[i] {
+				a[i][j] = int64((i*j + i + int(seed)) % 3)
+			}
+		}
+		pp, err := permanent.NewProblem(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		problems = append(problems, pp)
+		cp, err := cnfsat.NewProblem(cnfsat.RandomFormula(10, 15, 3, seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		problems = append(problems, cp)
+		hp, err := hamilton.NewProblem(graph.Gnp(9, 0.5, seed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		problems = append(problems, hp)
+	}
+	return problems
+}
+
+// BenchmarkJobsClusterThroughput runs the mixed workload as concurrent
+// jobs on one warm cluster — the session serving pattern. Compare
+// against BenchmarkJobsSequentialRun for the jobs/sec ratio recorded in
+// BENCH_3.json.
+func BenchmarkJobsClusterThroughput(b *testing.B) {
+	cluster := NewCluster(WithNodes(2))
+	defer cluster.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		problems := mixedJobProblems(b)
+		jobs := make([]*Job, len(problems))
+		for j, p := range problems {
+			jobs[j] = cluster.Submit(ctx, p, WithSeed(1), WithDecodingNodes(1))
+		}
+		for _, job := range jobs {
+			if _, _, err := job.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkJobsSequentialRun is the baseline the facade used to be: the
+// same mixed workload through one-shot core.Run calls, rebuilding
+// geometry per call, one job at a time.
+func BenchmarkJobsSequentialRun(b *testing.B) {
+	opts := core.Options{Nodes: 2, Seed: 1, DecodingNodes: 1}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range mixedJobProblems(b) {
+			if _, _, err := core.Run(ctx, p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkJobsTutteConcurrentLines runs the facade's Tutte driver —
+// m+1 Fortuin–Kasteleyn lines as concurrent jobs on the default
+// cluster — against the sequential line loop below.
+func BenchmarkJobsTutteConcurrentLines(b *testing.B) {
+	mg := RandomMultigraph(6, 8, 6)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, err := TuttePolynomial(ctx, mg, WithNodes(2), WithSeed(2), WithDecodingNodes(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJobsTutteSequentialLines(b *testing.B) {
+	mg := graph.RandomMultigraph(6, 8, 6)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if _, err := tutte.Compute(ctx, mg, core.Options{Nodes: 2, Seed: 2, DecodingNodes: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- E13: K-node tradeoff ------------------------------------------------------------

@@ -15,6 +15,15 @@
 // partitions, orthogonal vectors, Hamming distance distributions,
 // Convolution3SUM, and 2-CSP enumeration — plus the raw framework
 // (RunProblem / VerifyProof) for custom proof polynomials.
+//
+// The paper's model is a service: K nodes standing by to prepare
+// encoded proofs for a stream of inputs. The session API makes that
+// explicit — NewCluster creates a long-lived runtime owning a shared
+// bounded worker pool and warm per-prime state, Submit enqueues a run
+// and returns an async Job handle (Wait, Done, Status with per-stage
+// progress), and Close drains in-flight work. The one-shot functions
+// are thin wrappers over a lazily initialized default cluster, so both
+// styles produce bit-identical proofs.
 package camelot
 
 import (
@@ -73,61 +82,155 @@ func EquivocatingNodes(salt uint64, ids ...int) Adversary {
 	return core.NewEquivocatingNodes(salt, ids...)
 }
 
-// config collects run options.
-type config struct {
-	opts core.Options
+// --- Options ------------------------------------------------------------------
+
+// The option vocabulary is split by scope, mirroring the session API:
+//
+//   - ClusterOption configures the long-lived runtime — how wide the
+//     shared worker pool is, how many logical nodes serve a run, how
+//     shares travel. Accepted by NewCluster.
+//   - RunOption configures one run — its fault tolerance, adversary,
+//     randomness, verification effort, tensor decomposition. Accepted
+//     by Cluster.Submit and the problem constructors.
+//   - Option is either of the two: every With* constructor returns a
+//     value usable with the classic one-shot facade functions, which
+//     route through a lazily initialized default cluster.
+
+// Option configures a one-shot facade call (CountTriangles,
+// TuttePolynomial, RunProblem, ...). Every ClusterOption and RunOption
+// is also an Option.
+type Option interface {
+	applyFacade(*config)
+}
+
+// ClusterOption is a cluster-scoped Option: it configures the
+// long-lived runtime a NewCluster call creates.
+type ClusterOption interface {
+	Option
+	applyCluster(*clusterConfig)
+}
+
+// RunOption is a run-scoped Option: it configures a single submitted
+// run (or a problem constructed for one).
+type RunOption interface {
+	Option
+	applyRun(*runSettings)
+}
+
+// clusterConfig holds the cluster-scoped knobs.
+type clusterConfig struct {
+	nodes          int
+	maxParallelism int
+	newTransport   TransportFactory
+}
+
+// runSettings holds the run-scoped knobs: the run-scoped subset of
+// core.Options plus the tensor decomposition used by problem
+// constructors.
+type runSettings struct {
+	opts core.Options // only run-scoped fields are set here
 	base tensor.Decomposition
 }
 
+func defaultRunSettings() runSettings {
+	return runSettings{base: tensor.Strassen()}
+}
+
+// config is the merged view a one-shot facade call resolves.
+type config struct {
+	cluster clusterConfig
+	run     runSettings
+}
+
 func newConfig(opts []Option) config {
-	c := config{base: tensor.Strassen()}
+	c := config{run: defaultRunSettings()}
 	for _, o := range opts {
-		o(&c)
+		o.applyFacade(&c)
 	}
 	return c
 }
 
-// Option configures a Camelot run.
-type Option func(*config)
+// coreOptions merges both scopes into the engine's option struct.
+func (c *config) coreOptions() core.Options {
+	o := c.run.opts
+	o.Nodes = c.cluster.nodes
+	o.MaxParallelism = c.cluster.maxParallelism
+	o.NewTransport = c.cluster.newTransport
+	return o
+}
 
-// WithNodes sets the number of compute nodes K (default 1).
-func WithNodes(k int) Option { return func(c *config) { c.opts.Nodes = k } }
+// clusterOption is the concrete ClusterOption implementation.
+type clusterOption func(*clusterConfig)
 
-// WithFaultTolerance sets the number f of corrupted shares the run
-// survives; the codeword is lengthened to e = d+1+2f.
-func WithFaultTolerance(f int) Option { return func(c *config) { c.opts.FaultTolerance = f } }
+func (o clusterOption) applyFacade(c *config)          { o(&c.cluster) }
+func (o clusterOption) applyCluster(cc *clusterConfig) { o(cc) }
 
-// WithAdversary injects byzantine behaviour (for experiments and tests).
-func WithAdversary(a Adversary) Option { return func(c *config) { c.opts.Adversary = a } }
+// runOption is the concrete RunOption implementation.
+type runOption func(*runSettings)
 
-// WithSeed seeds the verification randomness.
-func WithSeed(seed int64) Option { return func(c *config) { c.opts.Seed = seed } }
+func (o runOption) applyFacade(c *config)    { o(&c.run) }
+func (o runOption) applyRun(rs *runSettings) { o(rs) }
 
-// WithVerifyTrials sets the number of independent spot checks (each with
-// soundness error <= d/q; default 1).
-func WithVerifyTrials(trials int) Option { return func(c *config) { c.opts.VerifyTrials = trials } }
-
-// WithDecodingNodes caps how many honest nodes run the full decoder
-// (0 = all, the paper's model).
-func WithDecodingNodes(k int) Option { return func(c *config) { c.opts.DecodingNodes = k } }
+// WithNodes sets the number of compute nodes K (default 1). Cluster
+// scope: K is the work split every run on the cluster uses.
+func WithNodes(k int) ClusterOption {
+	return clusterOption(func(cc *clusterConfig) { cc.nodes = k })
+}
 
 // WithMaxParallelism bounds the worker pool that drives node evaluation
 // and decoding (0 = GOMAXPROCS). The logical node count K sets the work
-// split, not the goroutine count.
-func WithMaxParallelism(n int) Option { return func(c *config) { c.opts.MaxParallelism = n } }
+// split, not the goroutine count. Cluster scope: the pool is the
+// cluster's shared execution width, fixed at construction.
+func WithMaxParallelism(n int) ClusterOption {
+	return clusterOption(func(cc *clusterConfig) { cc.maxParallelism = n })
+}
 
 // WithTransport substitutes the share-broadcast transport (default: the
 // in-memory broadcast bus). The factory is invoked once per run with
 // the node count, so transports can size their buffers.
-func WithTransport(tf TransportFactory) Option { return func(c *config) { c.opts.NewTransport = tf } }
+func WithTransport(tf TransportFactory) ClusterOption {
+	return clusterOption(func(cc *clusterConfig) { cc.newTransport = tf })
+}
+
+// WithFaultTolerance sets the number f of corrupted shares the run
+// survives; the codeword is lengthened to e = d+1+2f.
+func WithFaultTolerance(f int) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.FaultTolerance = f })
+}
+
+// WithAdversary injects byzantine behaviour (for experiments and tests).
+func WithAdversary(a Adversary) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.Adversary = a })
+}
+
+// WithSeed seeds the verification randomness.
+func WithSeed(seed int64) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.Seed = seed })
+}
+
+// WithVerifyTrials sets the number of independent spot checks (each with
+// soundness error <= d/q; default 1).
+func WithVerifyTrials(trials int) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.VerifyTrials = trials })
+}
+
+// WithDecodingNodes caps how many honest nodes run the full decoder
+// (0 = all, the paper's model).
+func WithDecodingNodes(k int) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.DecodingNodes = k })
+}
 
 // WithStrassenTensor selects the rank-7 ⟨2,2,2⟩ decomposition
 // (ω = log2 7) for the matrix-multiplication-based designs. The default.
-func WithStrassenTensor() Option { return func(c *config) { c.base = tensor.Strassen() } }
+func WithStrassenTensor() RunOption {
+	return runOption(func(rs *runSettings) { rs.base = tensor.Strassen() })
+}
 
 // WithTrivialTensor selects the rank-b³ classical decomposition (ω = 3)
 // with base size b for the matrix-multiplication-based designs.
-func WithTrivialTensor(b int) Option { return func(c *config) { c.base = tensor.Trivial(b) } }
+func WithTrivialTensor(b int) RunOption {
+	return runOption(func(rs *runSettings) { rs.base = tensor.Trivial(b) })
+}
 
 // --- Public input types -------------------------------------------------------
 

@@ -191,11 +191,11 @@ func TestMerlinArthurMode(t *testing.T) {
 func prepareTriangleProof(t *testing.T, g *Graph) (Problem, *Proof) {
 	t.Helper()
 	c := newConfig([]Option{WithSeed(4)})
-	p, err := triangles.NewProblem(g.g, c.base)
+	p, err := triangles.NewProblem(g.g, c.run.base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, _, err := core.Run(context.Background(), p, c.opts)
+	proof, _, err := core.Run(context.Background(), p, c.coreOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,256 @@
+package main
+
+// The jobs subcommand: run a manifest of problems through one long-lived
+// cluster — the service pattern the session API exists for. Each
+// manifest line names a counting workload; all lines are submitted as
+// concurrent jobs, progress is polled while they run, and a throughput
+// summary closes the report.
+//
+//	camelot jobs -manifest workload.txt -nodes 4
+//
+// Manifest format: one job per line, `kind key=value ...`; blank lines
+// and #-comments are ignored.
+//
+//	triangles n=32 p=0.3 seed=7
+//	cliques   n=8 k=6 p=0.7 seed=1
+//	permanent n=10 seed=2
+//	cnfsat    vars=12 clauses=20 width=3 seed=3
+//	hamilton  n=9 p=0.5 seed=4
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"camelot"
+)
+
+// manifestJob is one parsed manifest line.
+type manifestJob struct {
+	line    int
+	kind    string
+	problem camelot.CountingProblem
+}
+
+// jobSpec holds a manifest line's key=value pairs with typed access.
+type jobSpec struct {
+	line   int
+	kind   string
+	fields map[string]string
+}
+
+func (s *jobSpec) errf(format string, args ...any) error {
+	return fmt.Errorf("manifest line %d (%s): %s", s.line, s.kind, fmt.Sprintf(format, args...))
+}
+
+func (s *jobSpec) intField(key string, def int) (int, error) {
+	v, ok := s.fields[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, s.errf("bad %s=%q", key, v)
+	}
+	return n, nil
+}
+
+func (s *jobSpec) floatField(key string, def float64) (float64, error) {
+	v, ok := s.fields[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, s.errf("bad %s=%q", key, v)
+	}
+	return f, nil
+}
+
+// parseManifest reads the job list.
+func parseManifest(path string) ([]manifestJob, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var jobs []manifestJob
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		spec := &jobSpec{line: lineNo, kind: parts[0], fields: make(map[string]string)}
+		for _, kv := range parts[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, spec.errf("field %q is not key=value", kv)
+			}
+			spec.fields[k] = v
+		}
+		p, err := buildManifestProblem(spec)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, manifestJob{line: lineNo, kind: spec.kind, problem: p})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("manifest %s holds no jobs", path)
+	}
+	return jobs, nil
+}
+
+// buildManifestProblem constructs the counting problem a spec names.
+func buildManifestProblem(s *jobSpec) (camelot.CountingProblem, error) {
+	seed, err := s.intField("seed", 1)
+	if err != nil {
+		return nil, err
+	}
+	switch s.kind {
+	case "triangles":
+		n, err1 := s.intField("n", 32)
+		p, err2 := s.floatField("p", 0.3)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return camelot.NewTriangleProblem(camelot.RandomGraph(n, p, int64(seed)))
+	case "cliques":
+		n, err1 := s.intField("n", 8)
+		k, err2 := s.intField("k", 6)
+		p, err3 := s.floatField("p", 0.7)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return camelot.NewCliqueProblem(camelot.RandomGraph(n, p, int64(seed)), k)
+	case "permanent":
+		n, err := s.intField("n", 10)
+		if err != nil {
+			return nil, err
+		}
+		return camelot.NewPermanentProblem(randomMatrix(n, int64(seed)))
+	case "cnfsat":
+		vars, err1 := s.intField("vars", 12)
+		clauses, err2 := s.intField("clauses", 20)
+		width, err3 := s.intField("width", 3)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return camelot.NewCNFProblem(randomCNF(vars, clauses, width, int64(seed)))
+	case "hamilton":
+		n, err1 := s.intField("n", 9)
+		p, err2 := s.floatField("p", 0.5)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return camelot.NewHamiltonianCycleProblem(camelot.RandomGraph(n, p, int64(seed)))
+	default:
+		return nil, s.errf("unknown job kind (want triangles|cliques|permanent|cnfsat|hamilton)")
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runJobs is the jobs subcommand body.
+func runJobs(rest []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	var cf commonFlags
+	cf.register(fs)
+	manifest := fs.String("manifest", "", "path to the job manifest (required)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "progress polling interval (0 disables progress output)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *manifest == "" {
+		return fmt.Errorf("jobs: -manifest is required")
+	}
+	specs, err := parseManifest(*manifest)
+	if err != nil {
+		return err
+	}
+	runOpts, clusterOpts, err := cf.splitOptions()
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	cluster := camelot.NewCluster(clusterOpts...)
+	defer cluster.Close()
+
+	start := time.Now()
+	jobs := make([]*camelot.Job, len(specs))
+	for i, spec := range specs {
+		jobs[i] = cluster.Submit(ctx, spec.problem, runOpts...)
+	}
+	fmt.Printf("submitted %d jobs to one cluster (K=%d)\n", len(jobs), cf.nodes)
+
+	if *poll > 0 {
+		pollProgress(jobs, *poll)
+	}
+
+	var firstFailure error
+	for i, job := range jobs {
+		proof, rep, err := job.Wait(ctx)
+		if err != nil {
+			fmt.Printf("  [%2d] %-30s FAILED: %v\n", i, specs[i].kind, err)
+			if firstFailure == nil {
+				firstFailure = fmt.Errorf("job %d (%s): %w", i, specs[i].kind, err)
+			}
+			continue
+		}
+		count, err := specs[i].problem.Count(proof)
+		if err != nil {
+			fmt.Printf("  [%2d] %-30s RECOVERY FAILED: %v\n", i, specs[i].kind, err)
+			if firstFailure == nil {
+				firstFailure = fmt.Errorf("job %d (%s): recovering count: %w", i, specs[i].kind, err)
+			}
+			continue
+		}
+		fmt.Printf("  [%2d] %-30s count=%v  (%d proof symbols, suspects %v)\n",
+			i, rep.Problem, count, rep.ProofSymbols, rep.SuspectNodes)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d jobs in %v — %.2f jobs/sec\n",
+		len(jobs), elapsed.Round(time.Millisecond), float64(len(jobs))/elapsed.Seconds())
+	return firstFailure
+}
+
+// pollProgress prints a one-line status sweep until every job is done.
+func pollProgress(jobs []*camelot.Job, interval time.Duration) {
+	for {
+		running := 0
+		var points, total int
+		for _, j := range jobs {
+			st := j.Status()
+			if st.State == camelot.JobRunning {
+				running++
+			}
+			points += st.PointsDone
+			total += st.PointsTotal
+		}
+		if running == 0 {
+			return
+		}
+		fmt.Printf("  ... %d/%d jobs running, %d/%d evaluation units done\n",
+			running, len(jobs), points, total)
+		time.Sleep(interval)
+	}
+}

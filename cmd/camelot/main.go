@@ -16,6 +16,11 @@
 //	camelot ov        -n 128 -t 16
 //	camelot conv3sum  -n 64 -bits 10
 //	camelot csp       -n 12 -sigma 2 -m 8
+//
+// The jobs subcommand runs a whole manifest of problems as concurrent
+// jobs on one long-lived cluster (see jobs.go for the manifest format):
+//
+//	camelot jobs -manifest workload.txt -nodes 4
 package main
 
 import (
@@ -57,13 +62,19 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&cf.equiv, "equivocate", "", "comma-separated node ids that equivocate")
 }
 
-func (cf *commonFlags) options() ([]camelot.Option, error) {
-	opts := []camelot.Option{
+// splitOptions resolves the flags into the session API's two scopes:
+// cluster-scoped (nodes, pool width) and run-scoped (faults, seed,
+// trials, adversary). The jobs subcommand feeds them to NewCluster and
+// Submit respectively; the one-shot subcommands merge them back.
+func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOption, error) {
+	cluster := []camelot.ClusterOption{
 		camelot.WithNodes(cf.nodes),
+		camelot.WithMaxParallelism(cf.parallelism),
+	}
+	run := []camelot.RunOption{
 		camelot.WithFaultTolerance(cf.faults),
 		camelot.WithSeed(cf.seed),
 		camelot.WithVerifyTrials(cf.trials),
-		camelot.WithMaxParallelism(cf.parallelism),
 	}
 	parse := func(s string) ([]int, error) {
 		if s == "" {
@@ -81,29 +92,47 @@ func (cf *commonFlags) options() ([]camelot.Option, error) {
 		return ids, nil
 	}
 	if ids, err := parse(cf.lie); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else if len(ids) > 0 {
-		opts = append(opts, camelot.WithAdversary(camelot.LyingNodes(uint64(cf.seed), ids...)))
+		run = append(run, camelot.WithAdversary(camelot.LyingNodes(uint64(cf.seed), ids...)))
 	}
 	if ids, err := parse(cf.silence); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else if len(ids) > 0 {
-		opts = append(opts, camelot.WithAdversary(camelot.SilentNodes(ids...)))
+		run = append(run, camelot.WithAdversary(camelot.SilentNodes(ids...)))
 	}
 	if ids, err := parse(cf.equiv); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else if len(ids) > 0 {
-		opts = append(opts, camelot.WithAdversary(camelot.EquivocatingNodes(uint64(cf.seed), ids...)))
+		run = append(run, camelot.WithAdversary(camelot.EquivocatingNodes(uint64(cf.seed), ids...)))
+	}
+	return run, cluster, nil
+}
+
+func (cf *commonFlags) options() ([]camelot.Option, error) {
+	run, cluster, err := cf.splitOptions()
+	if err != nil {
+		return nil, err
+	}
+	opts := make([]camelot.Option, 0, len(run)+len(cluster))
+	for _, o := range cluster {
+		opts = append(opts, o)
+	}
+	for _, o := range run {
+		opts = append(opts, o)
 	}
 	return opts, nil
 }
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: camelot <cliques|triangles|chromatic|tutte|cnfsat|permanent|hamilton|setcover|ov|conv3sum|csp> [flags]")
+		return fmt.Errorf("usage: camelot <cliques|triangles|chromatic|tutte|cnfsat|permanent|hamilton|setcover|ov|conv3sum|csp|jobs> [flags]")
 	}
 	ctx := context.Background()
 	sub, rest := args[0], args[1:]
+	if sub == "jobs" {
+		return runJobs(rest)
+	}
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 	var cf commonFlags
 	cf.register(fs)

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSubcommands(t *testing.T) {
 	cases := map[string][]string{
@@ -37,6 +41,48 @@ func TestRunErrors(t *testing.T) {
 		"all byzantine":  {"triangles", "-n", "12", "-nodes", "1", "-lie", "0"},
 		"oversized csp":  {"csp", "-n", "5"},
 		"tiny permanent": {"permanent", "-n", "1"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := run(args); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}
+
+func TestRunJobsManifest(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "jobs.txt")
+	if err := os.WriteFile(manifest, []byte(`
+# mixed workload
+triangles n=20 p=0.3 seed=7
+permanent n=6 seed=2
+cnfsat    vars=8 clauses=10 seed=3
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"jobs", "-manifest", manifest, "-nodes", "2", "-trials", "1", "-poll", "0"}); err != nil {
+		t.Fatalf("jobs run: %v", err)
+	}
+}
+
+func TestRunJobsManifestErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string][]string{
+		"no manifest":   {"jobs"},
+		"missing file":  {"jobs", "-manifest", filepath.Join(dir, "absent.txt")},
+		"empty":         {"jobs", "-manifest", write("empty.txt", "# nothing\n")},
+		"unknown kind":  {"jobs", "-manifest", write("kind.txt", "frobnicate n=3\n")},
+		"bad field":     {"jobs", "-manifest", write("field.txt", "triangles n=x\n")},
+		"not key=value": {"jobs", "-manifest", write("kv.txt", "triangles n\n")},
+		"bad clique k":  {"jobs", "-manifest", write("k.txt", "cliques n=7 k=5\n")},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -56,3 +56,38 @@ func ExampleChromaticPolynomial() {
 	// Output:
 	// [0 -3 6 -4 1]
 }
+
+// ExampleCluster shows the session API: one long-lived cluster serving
+// several counting problems as concurrent jobs.
+func ExampleCluster() {
+	cluster := camelot.NewCluster(camelot.WithNodes(2))
+	defer cluster.Close()
+
+	type submission struct {
+		problem camelot.CountingProblem
+		job     *camelot.Job
+	}
+	var subs []submission
+	for _, n := range []int{5, 6, 7} {
+		p, err := camelot.NewTriangleProblem(camelot.CompleteGraph(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs = append(subs, submission{problem: p, job: cluster.Submit(context.Background(), p, camelot.WithSeed(1))})
+	}
+	for i, s := range subs {
+		proof, _, err := s.job.Wait(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		count, err := s.problem.Count(proof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("K%d triangles: %v\n", i+5, count)
+	}
+	// Output:
+	// K5 triangles: 10
+	// K6 triangles: 20
+	// K7 triangles: 35
+}

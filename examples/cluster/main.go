@@ -1,0 +1,91 @@
+// Cluster example: the session API. One long-lived cluster — K nodes
+// standing by, a shared worker pool, warm per-prime state — serves a
+// stream of counting problems submitted asynchronously. The main
+// goroutine polls job progress while the cluster works, then recovers
+// every count and drains the cluster.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"camelot"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A long-lived runtime: 4 logical nodes per run, pool width and
+	// transport at their defaults. Close drains in-flight jobs.
+	cluster := camelot.NewCluster(camelot.WithNodes(4))
+	defer cluster.Close()
+
+	// A mixed workload, submitted without waiting: Submit returns an
+	// async handle immediately and the shared pool arbitrates fairly
+	// between in-flight jobs.
+	type workItem struct {
+		label   string
+		problem camelot.CountingProblem
+		job     *camelot.Job
+	}
+	items := []workItem{}
+	for seed := int64(1); seed <= 3; seed++ {
+		g := camelot.RandomGraph(32, 0.25, seed)
+		p, err := camelot.NewTriangleProblem(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		items = append(items, workItem{label: fmt.Sprintf("triangles(seed=%d)", seed), problem: p})
+	}
+	a := make([][]int64, 10)
+	for i := range a {
+		a[i] = make([]int64, 10)
+		for j := range a[i] {
+			a[i][j] = int64((i + j) % 3)
+		}
+	}
+	perm, err := camelot.NewPermanentProblem(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	items = append(items, workItem{label: "permanent(10x10)", problem: perm})
+
+	for i := range items {
+		items[i].job = cluster.Submit(ctx, items[i].problem, camelot.WithSeed(7), camelot.WithVerifyTrials(2))
+	}
+
+	// Poll: Status() is a few atomic loads — per-stage progress and live
+	// suspect counts, free to call as often as you like.
+	for {
+		running := 0
+		for _, it := range items {
+			st := it.job.Status()
+			if st.State == camelot.JobRunning {
+				running++
+				fmt.Printf("  %-20s %-8s %d/%d evaluation units\n",
+					it.label, st.Stage, st.PointsDone, st.PointsTotal)
+			}
+		}
+		if running == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Harvest: Wait returns the run's (proof, report, error); Count
+	// recovers the integer answer from the proof.
+	for _, it := range items {
+		proof, report, err := it.job.Wait(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		count, err := it.problem.Count(proof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s = %v   (verified=%v, %d proof symbols)\n",
+			it.label, count, report.Verified, report.ProofSymbols)
+	}
+}

@@ -1,6 +1,11 @@
 // Quickstart: count the triangles of a random graph with a 4-node
 // Camelot community, then inspect the proof artifacts that make the
 // computation independently verifiable.
+//
+// The one-shot functions used here run on a shared default cluster
+// behind the scenes; when you have a *stream* of problems, create your
+// own runtime with camelot.NewCluster and submit them as concurrent
+// jobs — see examples/cluster.
 package main
 
 import (

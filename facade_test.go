@@ -171,11 +171,11 @@ func TestHamiltonianPathsFacade(t *testing.T) {
 func prepareSerializedProofRoundTrip() (bool, error) {
 	g := RandomGraph(14, 0.3, 3)
 	c := newConfig([]Option{WithSeed(4)})
-	p, err := triangles.NewProblem(g.g, c.base)
+	p, err := triangles.NewProblem(g.g, c.run.base)
 	if err != nil {
 		return false, err
 	}
-	proof, _, err := core.Run(context.Background(), p, c.opts)
+	proof, _, err := core.Run(context.Background(), p, c.coreOptions())
 	if err != nil {
 		return false, err
 	}

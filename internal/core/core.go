@@ -150,6 +150,17 @@ type Options struct {
 	// an instance because transports hold per-run message state while
 	// Options values are reused across runs.
 	NewTransport TransportFactory
+	// Pool, when non-nil, substitutes the session layer's shared
+	// long-lived worker pool for the per-run scheduler; MaxParallelism
+	// is then ignored (the pool's width was fixed at construction).
+	Pool *Pool
+	// Geometry, when non-nil, memoizes prime selection and Reed–Solomon
+	// code construction across runs — the Cluster's warm per-prime
+	// state. One-shot runs leave it nil and recompute per run.
+	Geometry *GeometryCache
+	// Observer, when non-nil, receives progress callbacks (stage
+	// transitions, evaluation units done, live suspect counts).
+	Observer Observer
 }
 
 func (o Options) withDefaults() Options {

@@ -10,10 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"camelot/internal/ff"
-	"camelot/internal/poly"
 	"camelot/internal/rs"
 )
 
@@ -69,6 +70,7 @@ type engine struct {
 	assign PointAssignment
 	codes  []*rs.Code
 	report *Report
+	obs    Observer
 }
 
 // newEngine validates the problem geometry, selects the proof moduli,
@@ -93,28 +95,34 @@ func newEngine(p Problem, opts Options) (*engine, error) {
 	for order < 2*e {
 		order <<= 1
 	}
-	primes, err := ChoosePrimes(p.NumPrimes(), minQ, order)
+	// Geometry resolution goes through the (possibly nil) cache: a
+	// Cluster's warm state makes repeated same-shape runs skip the prime
+	// scan and code construction entirely.
+	cached, err := opts.Geometry.choosePrimes(p.NumPrimes(), minQ, order)
 	if err != nil {
 		return nil, err
 	}
+	// Copy: the report and proof publish the slice to callers, and the
+	// cached copy must stay immutable.
+	primes := append([]uint64(nil), cached...)
 	codes := make([]*rs.Code, len(primes))
 	for pi, q := range primes {
-		f, err := ff.New(q)
+		code, err := opts.Geometry.code(q, e, d)
 		if err != nil {
-			return nil, fmt.Errorf("building field mod %d: %w", q, err)
-		}
-		ring := poly.NewRing(f)
-		code, err := rs.New(ring, rs.ConsecutivePoints(e), d)
-		if err != nil {
-			return nil, fmt.Errorf("building code mod %d: %w", q, err)
+			return nil, err
 		}
 		codes[pi] = code
+	}
+	obs := opts.Observer
+	if obs == nil {
+		obs = nopObserver{}
 	}
 	return &engine{
 		p: p, opts: opts, w: w, d: d, e: e, k: k,
 		primes: primes,
 		assign: NewPointAssignment(e, k),
 		codes:  codes,
+		obs:    obs,
 		report: &Report{
 			Problem:        p.Name(),
 			Nodes:          k,
@@ -140,6 +148,7 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
+	en.obs.Geometry(en.e*len(en.primes), en.k)
 	all, err := en.stagePrepare(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
@@ -154,16 +163,84 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 	return proof, en.report, nil
 }
 
+// runTasks executes indexed tasks on the session pool when one is
+// configured (Cluster runs) and on a per-run scheduler otherwise.
+func (en *engine) runTasks(ctx context.Context, n int, task func(id int) error) error {
+	if en.opts.Pool != nil {
+		return en.opts.Pool.Run(ctx, n, task)
+	}
+	return newScheduler(en.opts.MaxParallelism).run(ctx, n, task)
+}
+
+// execWidth returns the execution parallelism available to this run —
+// the knob that decides whether owned point ranges are worth
+// sub-chunking.
+func (en *engine) execWidth() int {
+	if en.opts.Pool != nil {
+		return en.opts.Pool.Width()
+	}
+	if en.opts.MaxParallelism > 0 {
+		return en.opts.MaxParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// prepChunk is one prepare-stage task: a slice of one node's owned
+// point range for one prime.
+type prepChunk struct {
+	node, prime int
+	lo, hi      int
+}
+
+// prepNode tracks one node's in-flight message across its chunks.
+type prepNode struct {
+	msg       NodeShares
+	remaining atomic.Int32
+	elapsedNS atomic.Int64
+}
+
 // stagePrepare is protocol step 1 (distributed encoded proof
 // preparation): every node evaluates its owned block of the codeword for
 // every prime and coordinate and broadcasts it as one message over the
 // transport; the collector gathers all K messages.
+//
+// The work unit is a (node, prime, sub-range) chunk rather than a whole
+// node: when the pool is wider than the node count — a single-node run
+// on a many-core box, say — idle workers take sub-chunks of the same
+// node's range, so K bounds the paper's work *split* but never the
+// machine's parallelism. Chunk boundaries cannot change results: every
+// point is evaluated independently and written to its own slot (and the
+// BatchProblem contract requires block results to match point-wise
+// evaluation bit for bit).
 func (en *engine) stagePrepare(ctx context.Context) ([]NodeShares, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	en.obs.StageStart(StagePrepare)
 	tr := en.opts.NewTransport(en.k)
-	sched := newScheduler(en.opts.MaxParallelism)
+	parts := 1
+	if w := en.execWidth(); w > en.k {
+		parts = (w + en.k - 1) / en.k
+	}
+	nodes := make([]*prepNode, en.k)
+	var chunks []prepChunk
+	for id := 0; id < en.k; id++ {
+		lo, hi := en.assign.Range(id)
+		st := &prepNode{msg: NodeShares{ID: id, Lo: lo, Hi: hi, Vals: make([][][]uint64, len(en.primes))}}
+		nodes[id] = st
+		n := 0
+		for pi := range en.primes {
+			st.msg.Vals[pi] = make([][]uint64, en.w)
+			for c := 0; c < en.w; c++ {
+				st.msg.Vals[pi][c] = make([]uint64, hi-lo)
+			}
+			for _, cut := range cutRange(lo, hi, parts) {
+				chunks = append(chunks, prepChunk{node: id, prime: pi, lo: cut[0], hi: cut[1]})
+				n++
+			}
+		}
+		st.remaining.Store(int32(n))
+	}
 	computeStart := time.Now()
 	// Failure on either side of the transport must cancel the other:
 	// a pool (Send) failure cancels the gather so the collector cannot
@@ -176,8 +253,25 @@ func (en *engine) stagePrepare(ctx context.Context) ([]NodeShares, error) {
 	defer cancelGather()
 	poolDone := make(chan error, 1)
 	go func() {
-		err := sched.run(sendCtx, en.k, func(id int) error {
-			return tr.Send(sendCtx, en.computeNode(sendCtx, id))
+		err := en.runTasks(sendCtx, len(chunks), func(ti int) error {
+			ch := chunks[ti]
+			st := nodes[ch.node]
+			start := time.Now()
+			err := evaluateRangeInto(sendCtx, en.p, en.primes[ch.prime], ch.lo, ch.hi, en.w,
+				st.msg.Vals[ch.prime], st.msg.Lo)
+			st.elapsedNS.Add(int64(time.Since(start)))
+			if err != nil {
+				return fmt.Errorf("node %d: %w", ch.node, err)
+			}
+			en.obs.PointsDone(ch.hi - ch.lo)
+			if st.remaining.Add(-1) == 0 {
+				// Last chunk of this node: the message is complete
+				// (every other chunk's write happened-before the
+				// counter reached zero), broadcast it.
+				st.msg.Elapsed = time.Duration(st.elapsedNS.Load())
+				return tr.Send(sendCtx, st.msg)
+			}
+			return nil
 		})
 		if err != nil {
 			cancelGather()
@@ -216,23 +310,28 @@ func (en *engine) stagePrepare(ctx context.Context) ([]NodeShares, error) {
 	return all, nil
 }
 
-// computeNode evaluates one node's owned point range for every prime.
-// Failures travel in-band in NodeShares.Err so the collector can
-// attribute them to the node.
-func (en *engine) computeNode(ctx context.Context, id int) NodeShares {
-	lo, hi := en.assign.Range(id)
-	m := NodeShares{ID: id, Lo: lo, Hi: hi, Vals: make([][][]uint64, len(en.primes))}
-	start := time.Now()
-	for pi, q := range en.primes {
-		vals, err := evaluateRange(ctx, en.p, q, lo, hi, en.w)
-		if err != nil {
-			m.Err = fmt.Errorf("node %d: %w", id, err)
-			return m
-		}
-		m.Vals[pi] = vals
+// cutRange splits [lo, hi) into at most parts non-empty, contiguous,
+// near-equal pieces, in order.
+func cutRange(lo, hi, parts int) [][2]int {
+	n := hi - lo
+	if n <= 0 {
+		return nil
 	}
-	m.Elapsed = time.Since(start)
-	return m
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		return [][2]int{{lo, hi}}
+	}
+	out := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		a := lo + i*n/parts
+		b := lo + (i+1)*n/parts
+		if a < b {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
 }
 
 // stageDecode is protocol step 2 (error correction during preparation):
@@ -243,6 +342,7 @@ func (en *engine) stageDecode(ctx context.Context, all []NodeShares) (*Proof, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	en.obs.StageStart(StageDecode)
 	honest := honestNodes(en.k, en.opts.Adversary)
 	if len(honest) == 0 {
 		return nil, ErrNoHonestNodes
@@ -254,14 +354,24 @@ func (en *engine) stageDecode(ctx context.Context, all []NodeShares) (*Proof, er
 
 	decodeStart := time.Now()
 	results := make([]*decodeResult, len(decoders))
-	sched := newScheduler(en.opts.MaxParallelism)
-	err := sched.run(ctx, len(decoders), func(di int) error {
+	// Suspects merge incrementally as decoders finish so Status() can
+	// report a live count mid-stage.
+	var mu sync.Mutex
+	suspects := map[int]bool{}
+	err := en.runTasks(ctx, len(decoders), func(di int) error {
 		recipient := decoders[di]
 		res, err := decodeAsNode(ctx, recipient, en.primes, en.codes, all, en.assign, en.opts.Adversary, en.w, en.e)
 		if err != nil {
 			return fmt.Errorf("node %d decoding: %w", recipient, err)
 		}
 		results[di] = res
+		mu.Lock()
+		for nid := range res.suspects {
+			suspects[nid] = true
+		}
+		n := len(suspects)
+		mu.Unlock()
+		en.obs.SuspectsFound(n)
 		return nil
 	})
 	if err != nil {
@@ -276,11 +386,7 @@ func (en *engine) stageDecode(ctx context.Context, all []NodeShares) (*Proof, er
 			return nil, ErrProofDisagreement
 		}
 	}
-	suspects := map[int]bool{}
 	for _, res := range results {
-		for nid := range res.suspects {
-			suspects[nid] = true
-		}
 		if res.maxErrors > en.report.CorruptedShares {
 			en.report.CorruptedShares = res.maxErrors
 		}
@@ -305,6 +411,7 @@ func (en *engine) stageVerify(ctx context.Context, proof *Proof) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	en.obs.StageStart(StageVerify)
 	verifyStart := time.Now()
 	ok, err := verifyProof(ctx, en.p, proof, en.opts.VerifyTrials, en.opts.Seed)
 	if err != nil {

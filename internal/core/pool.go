@@ -1,0 +1,187 @@
+package core
+
+// The session layer's execution substrate: a long-lived, bounded worker
+// pool that many concurrent engine runs share. The per-run scheduler
+// (scheduler.go) bounds one run's concurrency; the Pool additionally
+// arbitrates *between* runs — task sets from concurrent Run calls are
+// interleaved round-robin, one task at a time, so a wide run cannot
+// starve a narrow one. This is the fairness a multi-tenant cluster
+// needs when jobs of very different sizes are in flight together.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Run once the pool has been closed.
+var ErrPoolClosed = errors.New("core: pool closed")
+
+// Pool is a long-lived bounded worker pool shared by concurrent engine
+// runs. Construct with NewPool; the zero value is not usable. Tasks
+// must not call Run on their own pool (a width-1 pool would deadlock).
+type Pool struct {
+	width int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	runs   []*poolRun // task sets with work left or tasks in flight
+	rr     int        // round-robin cursor into runs
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// poolRun is one Run call's task set.
+type poolRun struct {
+	ctx      context.Context
+	task     func(id int) error
+	n        int // total tasks
+	next     int // next unclaimed id; == n once nothing is left to claim
+	active   int // claimed tasks still executing
+	err      error
+	finished bool
+	done     chan struct{}
+}
+
+// NewPool starts a pool of the given width (0 = GOMAXPROCS) and returns
+// it running. Callers own the pool and must Close it to stop the
+// workers.
+func NewPool(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{width: width}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(width)
+	for w := 0; w < width; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Width returns the number of workers.
+func (p *Pool) Width() int { return p.width }
+
+// Run executes task(0..n-1) on the pool and returns the first task
+// error (or the context error). Like scheduler.run, it blocks until
+// every *claimed* task has returned, so callers may reuse task-captured
+// state afterwards; a task error or cancellation only stops unclaimed
+// tasks from starting. Concurrent Run calls are served fairly.
+func (p *Pool) Run(ctx context.Context, n int, task func(id int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	r := &poolRun{ctx: ctx, task: task, n: n, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	p.runs = append(p.runs, r)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		// Withdraw the unclaimed remainder; tasks already executing are
+		// expected to observe ctx themselves, and the run completes (and
+		// closes done) once they drain.
+		p.mu.Lock()
+		r.fail(ctx.Err())
+		p.finishLocked(r)
+		p.mu.Unlock()
+		<-r.done
+	}
+	if r.err != nil {
+		return r.err
+	}
+	return ctx.Err()
+}
+
+// Close drains the pool: new Run calls are rejected, task sets already
+// submitted run to completion, then the workers exit. It blocks until
+// the drain is done.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// fail records the first error and withdraws unclaimed tasks. Callers
+// hold p.mu.
+func (r *poolRun) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.next = r.n
+}
+
+// finishLocked completes and removes the run if nothing is left to do.
+// Callers hold p.mu.
+func (p *Pool) finishLocked(r *poolRun) {
+	if r.finished || r.next < r.n || r.active > 0 {
+		return
+	}
+	r.finished = true
+	for i, q := range p.runs {
+		if q == r {
+			p.runs = append(p.runs[:i], p.runs[i+1:]...)
+			if p.rr > i {
+				p.rr--
+			}
+			break
+		}
+	}
+	close(r.done)
+	// Waiting workers re-check state: with the pool closed the last
+	// removal is what lets them exit.
+	p.cond.Broadcast()
+}
+
+// pickLocked claims nothing; it returns the next run with an unclaimed
+// task, advancing the round-robin cursor. Callers hold p.mu.
+func (p *Pool) pickLocked() *poolRun {
+	for i := 0; i < len(p.runs); i++ {
+		r := p.runs[(p.rr+i)%len(p.runs)]
+		if r.next < r.n {
+			p.rr = (p.rr + i + 1) % len(p.runs)
+			return r
+		}
+	}
+	return nil
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		r := p.pickLocked()
+		if r == nil {
+			if p.closed && len(p.runs) == 0 {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		id := r.next
+		r.next++
+		r.active++
+		p.mu.Unlock()
+		var err error
+		if e := r.ctx.Err(); e != nil {
+			err = e
+		} else {
+			err = r.task(id)
+		}
+		p.mu.Lock()
+		r.active--
+		if err != nil {
+			r.fail(err)
+		}
+		p.finishLocked(r)
+	}
+}

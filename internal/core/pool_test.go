@@ -1,0 +1,396 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsParallelism(t *testing.T) {
+	const width, tasks = 3, 24
+	p := NewPool(width)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	err := p.Run(context.Background(), tasks, func(int) error {
+		c := cur.Add(1)
+		for {
+			pk := peak.Load()
+			if c <= pk || peak.CompareAndSwap(pk, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > width {
+		t.Fatalf("observed %d concurrent tasks, pool width is %d", got, width)
+	}
+}
+
+func TestPoolRunsEveryTaskExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const tasks = 200
+	counts := make([]atomic.Int32, tasks)
+	if err := p.Run(context.Background(), tasks, func(id int) error {
+		counts[id].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for id := range counts {
+		if n := counts[id].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", id, n)
+		}
+	}
+}
+
+func TestPoolInterleavesConcurrentRuns(t *testing.T) {
+	// A width-1 pool given two task sets must alternate between them
+	// (round-robin), not drain the first before touching the second.
+	p := NewPool(1)
+	defer p.Close()
+	var order []int
+	var mu sync.Mutex
+	record := func(run int) func(int) error {
+		return func(int) error {
+			mu.Lock()
+			order = append(order, run)
+			mu.Unlock()
+			return nil
+		}
+	}
+	// Block the worker until both runs are registered so the schedule
+	// is deterministic.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go p.Run(context.Background(), 1, func(int) error {
+		close(started)
+		<-gate
+		return nil
+	})
+	<-started
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = p.Run(context.Background(), 3, record(i))
+		}(i)
+	}
+	// Give both Run calls time to register their queues, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	// Exact interleaving 0,1,0,1,... or 1,0,1,0,...: round-robin with
+	// one task claimed per turn.
+	if len(order) != 6 {
+		t.Fatalf("ran %d tasks, want 6", len(order))
+	}
+	for i := 2; i < len(order); i++ {
+		if order[i] != order[i-2] {
+			t.Fatalf("schedule %v is not round-robin", order)
+		}
+	}
+	if order[0] == order[1] {
+		t.Fatalf("schedule %v lets one run hog the worker", order)
+	}
+}
+
+func TestPoolFirstErrorStopsRun(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := p.Run(context.Background(), 100, func(id int) error {
+		ran.Add(1)
+		if id == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n > 4 {
+		t.Fatalf("pool kept scheduling this run after its error: %d tasks ran", n)
+	}
+}
+
+func TestPoolErrorInOneRunDoesNotAffectOthers(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	var okErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		badErr = p.Run(context.Background(), 50, func(id int) error {
+			if id == 0 {
+				return boom
+			}
+			return nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		okErr = p.Run(context.Background(), 50, func(id int) error {
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+	}()
+	wg.Wait()
+	if !errors.Is(badErr, boom) {
+		t.Fatalf("failing run returned %v, want boom", badErr)
+	}
+	if okErr != nil {
+		t.Fatalf("healthy run returned %v, want nil", okErr)
+	}
+}
+
+func TestPoolRunAfterCloseFails(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	if err := p.Run(context.Background(), 1, func(int) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseDrainsInFlightRun(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Int64
+	runDone := make(chan error, 1)
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		runDone <- p.Run(context.Background(), 10, func(int) error {
+			once.Do(func() { close(started) })
+			time.Sleep(2 * time.Millisecond)
+			done.Add(1)
+			return nil
+		})
+	}()
+	<-started
+	p.Close() // must block until all 10 tasks completed
+	if n := done.Load(); n != 10 {
+		t.Fatalf("Close returned with %d/10 tasks done", n)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRunHonorsCancellation(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Run(ctx, 1000, func(int) error {
+		ran.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled Run took %v", elapsed)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatal("cancellation did not withdraw unclaimed tasks")
+	}
+}
+
+func TestRunWithPoolMatchesScheduler(t *testing.T) {
+	p := testProblem()
+	plain, _, err := Run(context.Background(), p, Options{Nodes: 3, FaultTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(4)
+	defer pool.Close()
+	pooled, _, err := Run(context.Background(), p, Options{Nodes: 3, FaultTolerance: 2, Pool: pool, Geometry: NewGeometryCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := plain.Primes[0]
+	for w := range plain.Coeffs[q] {
+		for j := range plain.Coeffs[q][w] {
+			if plain.Coeffs[q][w][j] != pooled.Coeffs[q][w][j] {
+				t.Fatal("shared pool + geometry cache changed the proof")
+			}
+		}
+	}
+}
+
+func TestGeometryCacheReusesCodesAndPrimes(t *testing.T) {
+	gc := NewGeometryCache()
+	p1, err := gc.choosePrimes(2, 1<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := gc.choosePrimes(2, 1<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] != &p2[0] {
+		t.Fatal("prime selection not cached")
+	}
+	direct, err := ChoosePrimes(2, 1<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if p1[i] != direct[i] {
+			t.Fatal("cached primes differ from direct selection")
+		}
+	}
+	c1, err := gc.code(p1[0], 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := gc.code(p1[0], 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("code not cached")
+	}
+	if c3, err := gc.code(p1[0], 16, 8); err != nil || c3 == c1 {
+		t.Fatalf("distinct geometry must build a distinct code (err=%v)", err)
+	}
+	// Nil cache falls through to direct computation.
+	var nilGC *GeometryCache
+	if _, err := nilGC.choosePrimes(1, 1<<20, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nilGC.code(p1[0], 16, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chunkObserver records observer callbacks for the progress tests.
+type chunkObserver struct {
+	mu       sync.Mutex
+	stages   []Stage
+	points   atomic.Int64
+	total    atomic.Int64
+	suspects atomic.Int64
+}
+
+func (o *chunkObserver) Geometry(points, nodes int) { o.total.Store(int64(points)) }
+func (o *chunkObserver) StageStart(s Stage) {
+	o.mu.Lock()
+	o.stages = append(o.stages, s)
+	o.mu.Unlock()
+}
+func (o *chunkObserver) PointsDone(d int)    { o.points.Add(int64(d)) }
+func (o *chunkObserver) SuspectsFound(n int) { o.suspects.Store(int64(n)) }
+
+func TestObserverSeesStagesAndFullProgress(t *testing.T) {
+	obs := &chunkObserver{}
+	p := testProblem()
+	_, rep, err := Run(context.Background(), p, Options{Nodes: 2, FaultTolerance: 1, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.CodeLength * len(rep.Primes)
+	if got := obs.points.Load(); got != int64(want) {
+		t.Fatalf("observer saw %d evaluation units, want %d", got, want)
+	}
+	if got := obs.total.Load(); got != int64(want) {
+		t.Fatalf("Geometry announced %d units, want %d", got, want)
+	}
+	obs.mu.Lock()
+	stages := append([]Stage(nil), obs.stages...)
+	obs.mu.Unlock()
+	if len(stages) != 3 || stages[0] != StagePrepare || stages[1] != StageDecode || stages[2] != StageVerify {
+		t.Fatalf("stage sequence %v, want [prepare decode verify]", stages)
+	}
+}
+
+func TestObserverSeesSuspects(t *testing.T) {
+	obs := &chunkObserver{}
+	p := testProblem()
+	// Plenty of fault tolerance so one lying node is corrected.
+	_, rep, err := Run(context.Background(), p, Options{
+		Nodes: 4, FaultTolerance: 4, Adversary: NewLyingNodes(3, 1), Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SuspectNodes) == 0 {
+		t.Fatal("test needs a run that identifies suspects")
+	}
+	if got := obs.suspects.Load(); got != int64(len(rep.SuspectNodes)) {
+		t.Fatalf("observer saw %d suspects, report has %d", got, len(rep.SuspectNodes))
+	}
+}
+
+func TestSingleNodeRunUsesSubChunks(t *testing.T) {
+	// Satellite: with K=1 and a wide pool, the owned range must be split
+	// into sub-chunks (so idle workers can help) with bit-identical
+	// results.
+	p := testProblem()
+	serial, _, err := Run(context.Background(), p, Options{Nodes: 1, FaultTolerance: 3, MaxParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrency proof: wrap the problem to track concurrent Evaluate
+	// calls while a wide pool splits the single node's range.
+	var cur, peak atomic.Int64
+	tracked := &concurrencyTrackedProblem{Problem: p, cur: &cur, peak: &peak}
+	wide, _, err := Run(context.Background(), tracked, Options{Nodes: 1, FaultTolerance: 3, MaxParallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := serial.Primes[0]
+	for w := range serial.Coeffs[q] {
+		for j := range serial.Coeffs[q][w] {
+			if serial.Coeffs[q][w][j] != wide.Coeffs[q][w][j] {
+				t.Fatal("sub-chunked single-node run changed the proof")
+			}
+		}
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("single-node run never evaluated concurrently (peak %d) despite pool width 8", peak.Load())
+	}
+}
+
+// concurrencyTrackedProblem counts concurrent Evaluate calls.
+type concurrencyTrackedProblem struct {
+	Problem
+	cur, peak *atomic.Int64
+}
+
+func (p *concurrencyTrackedProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	c := p.cur.Add(1)
+	for {
+		pk := p.peak.Load()
+		if c <= pk || p.peak.CompareAndSwap(pk, c) {
+			break
+		}
+	}
+	time.Sleep(50 * time.Microsecond)
+	defer p.cur.Add(-1)
+	return p.Problem.Evaluate(q, x0)
+}

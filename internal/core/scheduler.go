@@ -115,13 +115,23 @@ func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width int) 
 	for c := range vals {
 		vals[c] = make([]uint64, hi-lo)
 	}
+	if err := evaluateRangeInto(ctx, p, q, lo, hi, width, vals, lo); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// evaluateRangeInto evaluates the point range [lo, hi) directly into
+// dst[coord][x-base] — the engine's form, where several chunk tasks of
+// the same node write disjoint slices of one shared message buffer.
+func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width int, dst [][]uint64, base int) error {
 	if bp, ok := p.(BatchProblem); ok {
 		// One chunk buffer for the whole range; EvaluateBlock must not
 		// retain its argument (see the BatchProblem contract).
 		xs := make([]uint64, 0, maxBatchChunk)
 		for start := lo; start < hi; start += maxBatchChunk {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			end := start + maxBatchChunk
 			if end > hi {
@@ -133,36 +143,36 @@ func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width int) 
 			}
 			rows, err := bp.EvaluateBlock(q, xs)
 			if err != nil {
-				return nil, fmt.Errorf("evaluating block [%d,%d) mod %d: %w", start, end, q, err)
+				return fmt.Errorf("evaluating block [%d,%d) mod %d: %w", start, end, q, err)
 			}
 			if len(rows) != len(xs) {
-				return nil, fmt.Errorf("EvaluateBlock returned %d rows, want %d", len(rows), len(xs))
+				return fmt.Errorf("EvaluateBlock returned %d rows, want %d", len(rows), len(xs))
 			}
 			for i, vec := range rows {
 				if len(vec) != width {
-					return nil, fmt.Errorf("EvaluateBlock row %d has %d coords, want %d", i, len(vec), width)
+					return fmt.Errorf("EvaluateBlock row %d has %d coords, want %d", i, len(vec), width)
 				}
 				for c, v := range vec {
-					vals[c][start-lo+i] = v % q
+					dst[c][start-base+i] = v % q
 				}
 			}
 		}
-		return vals, nil
+		return nil
 	}
 	for x := lo; x < hi; x++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		vec, err := p.Evaluate(q, uint64(x))
 		if err != nil {
-			return nil, fmt.Errorf("evaluating P(%d) mod %d: %w", x, q, err)
+			return fmt.Errorf("evaluating P(%d) mod %d: %w", x, q, err)
 		}
 		if len(vec) != width {
-			return nil, fmt.Errorf("Evaluate returned %d coords, want %d", len(vec), width)
+			return fmt.Errorf("Evaluate returned %d coords, want %d", len(vec), width)
 		}
 		for c, v := range vec {
-			vals[c][x-lo] = v % q
+			dst[c][x-base] = v % q
 		}
 	}
-	return vals, nil
+	return nil
 }

@@ -26,6 +26,15 @@ func VerifyProof(p Problem, proof *Proof, trials int, seed int64) (bool, error) 
 	return verifyProof(context.Background(), p, proof, trials, seed)
 }
 
+// VerifyProofContext is VerifyProof with cancellation: the check aborts
+// between (trial, prime) pairs when ctx is done, so multi-trial
+// verification of a large proof is as cancellable as every other
+// protocol stage. The job pipeline and any caller holding a deadline
+// should prefer it.
+func VerifyProofContext(ctx context.Context, p Problem, proof *Proof, trials int, seed int64) (bool, error) {
+	return verifyProof(ctx, p, proof, trials, seed)
+}
+
 // verifyProof is the context-aware engine form of VerifyProof: the
 // cancellation check runs once per (trial, prime) pair, so even a slow
 // problem aborts after at most one stray evaluation.

@@ -226,3 +226,75 @@ func BenchmarkItaiRodeh64(b *testing.B) {
 		}
 	}
 }
+
+func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
+	// The BatchProblem fast path must be bit-identical to point-wise
+	// Evaluate (the verification stage evaluates through Evaluate, so
+	// any divergence would fail verification instead of corrupting the
+	// proof silently). Cover sparse and dense graphs, on- and off-grid
+	// points, and values needing reduction mod q.
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"sparse", graph.Gnp(48, 4.0/48, 3)},
+		{"dense", graph.Gnp(20, 0.5, 4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewProblem(tc.g, tensor.Strassen())
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := core.ChoosePrimes(1, p.MinModulus(), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := make([]uint64, 0, 40)
+			for x := uint64(0); x < 20; x++ {
+				xs = append(xs, x)
+			}
+			xs = append(xs, uint64(p.NumParts()), uint64(p.NumParts())+1, q[0]-1, q[0], q[0]+7)
+			rows, err := p.EvaluateBlock(q[0], xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != len(xs) {
+				t.Fatalf("EvaluateBlock returned %d rows, want %d", len(rows), len(xs))
+			}
+			for i, x := range xs {
+				want, err := p.Evaluate(q[0], x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows[i]) != 1 || rows[i][0] != want[0] {
+					t.Fatalf("x=%d: block %v != point %v", x, rows[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestCamelotTrianglesBatchEndToEnd(t *testing.T) {
+	// Full protocol through the batch path (core.Run prefers
+	// EvaluateBlock now that Problem implements BatchProblem), checked
+	// against the naive count.
+	g := graph.Gnp(30, 0.3, 8)
+	p, err := NewProblem(g, tensor.Strassen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, rep, err := core.Run(context.Background(), p, core.Options{Nodes: 3, Seed: 5, DecodingNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("not verified")
+	}
+	count, err := p.Recover(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := CountNaive(g); count.Cmp(new(big.Int).SetUint64(want)) != 0 {
+		t.Fatalf("count %v, want %d", count, want)
+	}
+}

@@ -2,8 +2,10 @@ package tutte
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"camelot/internal/core"
 	"camelot/internal/graph"
@@ -22,30 +24,96 @@ type Result struct {
 	Reports []*core.Report
 }
 
+// RunLine executes one Fortuin–Kasteleyn line's Camelot run — the seam
+// through which the session layer submits lines as concurrent cluster
+// jobs. It must be non-nil; Compute wraps plain core.Run for the
+// sequential case.
+type RunLine func(ctx context.Context, p *Problem) (*core.Proof, *core.Report, error)
+
 // Compute runs the full Theorem 7 pipeline: one Camelot run per integer
 // r = 1..m+1 (each a width-(n+1) proof over the t grid), exact bivariate
 // interpolation of Z, and the eq. (34) change of variables to T_G(x, y).
+// Lines run sequentially through core.Run; the session layer's driver
+// (camelot.TuttePolynomial) uses ComputeLines to run them as concurrent
+// jobs on one cluster instead.
 func Compute(ctx context.Context, mg *graph.Multigraph, opts core.Options) (*Result, error) {
+	line := func(ctx context.Context, p *Problem) (*core.Proof, *core.Report, error) {
+		return core.Run(ctx, p, opts)
+	}
+	return ComputeLines(ctx, mg, line, 1)
+}
+
+// ComputeLines is Compute with the per-line run pluggable and up to
+// concurrency lines in flight at once. The result is deterministic
+// regardless of concurrency: lines are independent Camelot runs, the
+// value grid is indexed by r, and reports keep FK-line order.
+func ComputeLines(ctx context.Context, mg *graph.Multigraph, line RunLine, concurrency int) (*Result, error) {
 	n := mg.N()
 	m := mg.M()
-	res := &Result{Reports: make([]*core.Report, 0, m+1)}
-	// Grid of Z values: grid[rIdx][tIdx].
-	grid := make([][]*big.Int, m+1)
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	if concurrency > m+1 {
+		concurrency = m + 1
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	grid := make([][]*big.Int, m+1) // grid[rIdx][tIdx]
+	reports := make([]*core.Report, m+1)
+	errs := make([]error, m+1)
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
 	for ri := 0; ri <= m; ri++ {
-		p, err := NewProblem(mg, uint64(ri+1))
-		if err != nil {
-			return nil, err
-		}
-		proof, rep, err := core.Run(ctx, p, opts)
-		if err != nil {
-			return nil, fmt.Errorf("tutte: r=%d: %w", ri+1, err)
-		}
-		res.Reports = append(res.Reports, rep)
-		grid[ri], err = p.Values(proof)
-		if err != nil {
-			return nil, err
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := runCtx.Err(); err != nil {
+				errs[ri] = err
+				return
+			}
+			p, err := NewProblem(mg, uint64(ri+1))
+			if err != nil {
+				errs[ri] = err
+				cancel()
+				return
+			}
+			proof, rep, err := line(runCtx, p)
+			if err != nil {
+				errs[ri] = fmt.Errorf("tutte: r=%d: %w", ri+1, err)
+				cancel()
+				return
+			}
+			reports[ri] = rep
+			grid[ri], err = p.Values(proof)
+			if err != nil {
+				errs[ri] = err
+				cancel()
+			}
+		}(ri)
+	}
+	wg.Wait()
+	// Surface the root cause, not the cancellations it fanned out.
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
 		}
 	}
+	if firstErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &Result{Reports: reports}
 	z, err := InterpolateZ(grid, n, m)
 	if err != nil {
 		return nil, err

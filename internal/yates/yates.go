@@ -248,6 +248,69 @@ func (ss *SplitSparse) PartsAtPoint(z0 uint64) []uint64 {
 // polynomial u^{(ℓ)}_{i}(z).
 func (ss *SplitSparse) PartPolyDegree() int { return pow(ss.t, ss.k-ss.ell) - 1 }
 
+// PartsEvaluator amortizes PartsAtPoint across many points of the same
+// transform: the transposed base matrix is built once, the Lagrange
+// basis over the 1-based outer range goes through a scratch-reusing
+// ff.LagrangeEvaluator (factorial products and fixed denominators
+// inverted at construction), and the Φ/x^{(ℓ)} scatter buffers are
+// reused between calls. This is the block-evaluation workhorse behind
+// BatchProblem implementations of the §3.3 polynomial extension.
+//
+// Like ff.LagrangeEvaluator, a PartsEvaluator is NOT safe for
+// concurrent use (shared scratch); build one per goroutine. At(z0) is
+// bit-identical to ss.PartsAtPoint(z0) for every z0 — the one-shot and
+// amortized Lagrange kernels compute the same residues — which is what
+// lets batch and per-point protocol paths share one proof.
+type PartsEvaluator struct {
+	ss  *SplitSparse
+	at  []uint64 // transposed base, s×t
+	le  *ff.LagrangeEvaluator
+	phi []uint64 // Lagrange basis scratch, length t^{k-ℓ}
+	xl  []uint64 // scatter scratch, length s^ℓ
+}
+
+// NewPartsEvaluator prepares a reusable part-polynomial evaluator.
+func (ss *SplitSparse) NewPartsEvaluator() *PartsEvaluator {
+	at := make([]uint64, ss.s*ss.t)
+	for i := 0; i < ss.t; i++ {
+		for j := 0; j < ss.s; j++ {
+			at[j*ss.t+i] = ss.a[i*ss.s+j]
+		}
+	}
+	nOut := ss.k - ss.ell
+	return &PartsEvaluator{
+		ss:  ss,
+		at:  at,
+		le:  ss.f.NewLagrangeEvaluatorOneBased(pow(ss.t, nOut)),
+		phi: make([]uint64, pow(ss.t, nOut)),
+		xl:  make([]uint64, pow(ss.s, ss.ell)),
+	}
+}
+
+// At evaluates the part-polynomials u^{(ℓ)}(z) at z = z0, exactly like
+// SplitSparse.PartsAtPoint but with the per-point setup amortized. The
+// returned slice is freshly allocated (the inner Yates transform owns
+// it); scratch reuse covers the Lagrange and scatter phases.
+func (pe *PartsEvaluator) At(z0 uint64) []uint64 {
+	ss := pe.ss
+	f := ss.f
+	nOut := ss.k - ss.ell
+	pe.le.At(z0, pe.phi)
+	alpha := Transform(f, pe.at, ss.s, ss.t, nOut, pe.phi)
+	clear(pe.xl)
+	sLow := pow(ss.s, nOut)
+	for i, e := range ss.entries {
+		low := e.Index % sLow
+		w := alpha[low]
+		if w == 0 {
+			continue
+		}
+		hi := ss.highIndex[i]
+		pe.xl[hi] = f.Add(pe.xl[hi], f.Mul(w, e.Value))
+	}
+	return Transform(f, ss.a, ss.t, ss.s, ss.ell, pe.xl)
+}
+
 // Zeta computes the subset zeta transform in place over a generic
 // commutative monoid: on return vals[Y] = Σ_{X ⊆ Y} vals[X] for every
 // mask Y over an n-element ground set (len(vals) must be 2^n). This is

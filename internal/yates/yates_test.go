@@ -279,3 +279,41 @@ func BenchmarkSplitSparsePart(b *testing.B) {
 		_ = ss.Part(i % ss.NumParts())
 	}
 }
+
+func TestPartsEvaluatorMatchesPartsAtPoint(t *testing.T) {
+	// The amortized evaluator must be bit-identical to the one-shot
+	// PartsAtPoint everywhere: on the grid, off the grid, and at points
+	// needing reduction mod q — that equality is what lets batch and
+	// per-point protocol paths share one proof.
+	rng := rand.New(rand.NewSource(6))
+	cases := []struct{ t, s, k, ell, nnz int }{
+		{2, 2, 5, 2, 6},
+		{3, 2, 4, 2, 5},
+		{7, 4, 2, 1, 9},
+		{2, 2, 6, 0, 4},
+	}
+	for _, c := range cases {
+		x := make([]uint64, pow(c.s, c.k))
+		for _, i := range rng.Perm(len(x))[:c.nnz] {
+			x[i] = 1 + rng.Uint64()%(testField.Q-1)
+		}
+		ss, err := NewSplitSparse(testField, randBase(rng, c.t, c.s), c.t, c.s, c.k, sparseFromDense(x), c.ell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe := ss.NewPartsEvaluator()
+		points := []uint64{0, 1, 2, uint64(ss.NumParts()), uint64(ss.NumParts()) + 1, testField.Q - 1, testField.Q + 5}
+		for i := 0; i < 10; i++ {
+			points = append(points, rng.Uint64()%(2*testField.Q))
+		}
+		for _, z0 := range points {
+			want := ss.PartsAtPoint(z0)
+			got := pe.At(z0)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("case %+v z0=%d entry %d: %d want %d", c, z0, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

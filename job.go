@@ -1,0 +1,188 @@
+package camelot
+
+// Job is the async handle Cluster.Submit returns: a future for the
+// run's (proof, report, error) triple plus an inspectable live status —
+// which protocol stage the run is in, how much of the evaluation grid
+// is done, how many suspect nodes the decoders have identified so far.
+// Status is fed by the engine's Observer callbacks, so polling it costs
+// a few atomic loads and never perturbs the run.
+
+import (
+	"context"
+	"sync/atomic"
+
+	"camelot/internal/core"
+)
+
+// Stage identifies a protocol stage in a job's status.
+type Stage = core.Stage
+
+// Re-exported stage values for status inspection.
+const (
+	StageQueued  = core.StageQueued
+	StagePrepare = core.StagePrepare
+	StageDecode  = core.StageDecode
+	StageVerify  = core.StageVerify
+	StageDone    = core.StageDone
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState int32
+
+const (
+	// JobRunning means the job has been accepted and not yet finished.
+	JobRunning JobState = iota
+	// JobSucceeded means the run completed and its proof verified.
+	JobSucceeded
+	// JobFailed means the run returned an error (including verification
+	// failure and cancellation).
+	JobFailed
+)
+
+// String returns the state name.
+func (s JobState) String() string {
+	switch s {
+	case JobRunning:
+		return "running"
+	case JobSucceeded:
+		return "succeeded"
+	case JobFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	// Problem is the submitted problem's name.
+	Problem string
+	// State is the lifecycle state.
+	State JobState
+	// Stage is the protocol stage the run is in (StageQueued before the
+	// engine starts, StageDone after it finishes either way).
+	Stage Stage
+	// PointsDone / PointsTotal track the prepare stage's evaluation
+	// grid in (point, prime) units. PointsTotal is 0 until the engine
+	// has resolved the run geometry.
+	PointsDone, PointsTotal int
+	// Suspects is the live size of the union of suspect node sets
+	// across the decoders that have finished so far.
+	Suspects int
+	// Err is the terminal error for failed jobs, nil otherwise.
+	Err error
+}
+
+// Job is an in-flight (or finished) Camelot run. Its methods are safe
+// for concurrent use.
+type Job struct {
+	problem core.Problem
+	done    chan struct{}
+
+	stage       atomic.Int32
+	pointsDone  atomic.Int64
+	pointsTotal atomic.Int64
+	suspects    atomic.Int32
+
+	// Terminal results; written once by finish before done is closed,
+	// read only after done (or under the done-channel happens-before).
+	proof  *Proof
+	report *Report
+	err    error
+}
+
+func newJob(p core.Problem) *Job {
+	j := &Job{problem: p, done: make(chan struct{})}
+	j.stage.Store(int32(StageQueued))
+	return j
+}
+
+// finish publishes the terminal state. Called exactly once.
+func (j *Job) finish(proof *Proof, report *Report, err error) {
+	j.proof = proof
+	j.report = report
+	j.err = err
+	j.stage.Store(int32(StageDone))
+	close(j.done)
+}
+
+// Done returns a channel closed when the job reaches a terminal state —
+// the select-friendly form of Wait.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is done, whichever comes
+// first, and returns the job's results. A ctx expiry here abandons the
+// wait only — the job keeps running under its submission context; Wait
+// again to re-attach. Like core.Run, a decoded proof may accompany a
+// verification error.
+func (j *Job) Wait(ctx context.Context) (*Proof, *Report, error) {
+	select {
+	case <-j.done:
+		return j.proof, j.report, j.err
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+// Err returns the terminal error for finished jobs and nil while the
+// job is running (check Done first to distinguish "running" from
+// "succeeded").
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+		return j.err
+	default:
+		return nil
+	}
+}
+
+// Status returns a point-in-time snapshot of the job's progress.
+func (j *Job) Status() JobStatus {
+	st := JobStatus{
+		Problem:     j.problem.Name(),
+		State:       JobRunning,
+		Stage:       Stage(j.stage.Load()),
+		PointsDone:  int(j.pointsDone.Load()),
+		PointsTotal: int(j.pointsTotal.Load()),
+		Suspects:    int(j.suspects.Load()),
+	}
+	select {
+	case <-j.done:
+		st.Err = j.err
+		if j.err != nil {
+			st.State = JobFailed
+		} else {
+			st.State = JobSucceeded
+		}
+	default:
+	}
+	return st
+}
+
+// jobObserver adapts a Job to the engine's Observer interface without
+// exporting the callbacks on Job itself.
+type jobObserver Job
+
+var _ core.Observer = (*jobObserver)(nil)
+
+func (o *jobObserver) Geometry(points, nodes int) {
+	(*Job)(o).pointsTotal.Store(int64(points))
+}
+
+func (o *jobObserver) StageStart(s Stage) {
+	(*Job)(o).stage.Store(int32(s))
+}
+
+func (o *jobObserver) PointsDone(delta int) {
+	(*Job)(o).pointsDone.Add(int64(delta))
+}
+
+func (o *jobObserver) SuspectsFound(count int) {
+	j := (*Job)(o)
+	// Monotone max: decoders finish out of order.
+	for {
+		cur := j.suspects.Load()
+		if int32(count) <= cur || j.suspects.CompareAndSwap(cur, int32(count)) {
+			return
+		}
+	}
+}

@@ -21,10 +21,11 @@ import (
 // RunProblem executes the full Camelot protocol — distributed proof
 // preparation, per-node Gao decoding with failed-node identification,
 // and randomized verification — for any Problem. Most callers use the
-// problem-specific functions below instead.
+// problem-specific functions below instead; all of them run on the
+// shared default cluster (see NewCluster for the session API).
 func RunProblem(ctx context.Context, p Problem, opts ...Option) (*Proof, *Report, error) {
 	c := newConfig(opts)
-	return core.Run(ctx, p, c.opts)
+	return runOneShot(ctx, p, c)
 }
 
 // VerifyProof spot-checks a proof against the input with the given
@@ -35,16 +36,23 @@ func VerifyProof(p Problem, proof *Proof, trials int, seed int64) (bool, error) 
 	return core.VerifyProof(p, proof, trials, seed)
 }
 
+// VerifyProofContext is VerifyProof with cancellation: the check aborts
+// between trial/modulus pairs once ctx is done, making multi-trial
+// verification of large proofs as cancellable as every other stage.
+func VerifyProofContext(ctx context.Context, p Problem, proof *Proof, trials int, seed int64) (bool, error) {
+	return core.VerifyProofContext(ctx, p, proof, trials, seed)
+}
+
 // CountCliques counts the k-cliques of g (k divisible by 6) with the
 // Theorem 1 Camelot algorithm: proof size and per-node time O(n^{ωk/6}),
 // matching the best sequential total.
 func CountCliques(ctx context.Context, g *Graph, k int, opts ...Option) (*big.Int, *Report, error) {
 	c := newConfig(opts)
-	p, err := cliques.NewProblem(g.g, k, c.base)
+	p, err := cliques.NewProblem(g.g, k, c.run.base)
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -62,11 +70,11 @@ func CountCliquesSequential(g *Graph, k int) (*big.Int, error) {
 // algorithm: proof size O(n^ω/m), per-node time Õ(m).
 func CountTriangles(ctx context.Context, g *Graph, opts ...Option) (*big.Int, *Report, error) {
 	c := newConfig(opts)
-	p, err := triangles.NewProblem(g.g, c.base)
+	p, err := triangles.NewProblem(g.g, c.run.base)
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -83,7 +91,7 @@ func ChromaticPolynomial(ctx context.Context, g *Graph, opts ...Option) ([]*big.
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -96,10 +104,28 @@ type TutteResult = tutte.Result
 
 // TuttePolynomial computes the Tutte polynomial of a multigraph with the
 // Theorem 7 Camelot algorithm: proof size O*(2^{n/3}), per-node time
-// O*(2^{ωn/3}), one run per Fortuin–Kasteleyn line r = 1..m+1.
+// O*(2^{ωn/3}), one run per Fortuin–Kasteleyn line r = 1..m+1. The m+1
+// lines are submitted as concurrent jobs on the shared default cluster
+// (the sequential driver survives as tutte.Compute); results are
+// bit-identical either way because lines are independent runs.
 func TuttePolynomial(ctx context.Context, mg *Multigraph, opts ...Option) (*TutteResult, error) {
 	c := newConfig(opts)
-	return tutte.Compute(ctx, mg.mg, c.opts)
+	cl := DefaultCluster()
+	copts := c.coreOptions()
+	if copts.MaxParallelism > 0 {
+		// An explicit parallelism bound must hold across the whole
+		// computation, not per line: the default cluster's pool has its
+		// own width and the per-run scheduler fallback would multiply
+		// the bound by m+1 concurrent lines. A transient cluster sized
+		// to the bound keeps every line on one pool of exactly that
+		// width.
+		cl = NewCluster(WithNodes(copts.Nodes), WithMaxParallelism(copts.MaxParallelism))
+		defer cl.Close()
+	}
+	line := func(ctx context.Context, p *tutte.Problem) (*core.Proof, *core.Report, error) {
+		return cl.submitCore(ctx, p, copts).Wait(ctx)
+	}
+	return tutte.ComputeLines(ctx, mg.mg, line, mg.mg.M()+1)
 }
 
 // EvalTutte evaluates a recovered Tutte coefficient matrix at (x, y).
@@ -116,7 +142,7 @@ func CountCNFSolutions(ctx context.Context, f *CNFFormula, opts ...Option) (*big
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -133,7 +159,7 @@ func Permanent(ctx context.Context, a [][]int64, opts ...Option) (*big.Int, *Rep
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -150,7 +176,7 @@ func CountHamiltonianCycles(ctx context.Context, g *Graph, opts ...Option) (*big
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -166,7 +192,7 @@ func CountHamiltonianPaths(ctx context.Context, g *Graph, opts ...Option) (*big.
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -183,7 +209,7 @@ func CountSetCovers(ctx context.Context, family []uint64, n, t int, opts ...Opti
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -199,7 +225,7 @@ func CountSetPartitions(ctx context.Context, family []uint64, n, t int, opts ...
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -224,7 +250,7 @@ func CountOrthogonalPairs(ctx context.Context, n, t int, a, b []uint8, opts ...O
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -248,7 +274,7 @@ func HammingDistribution(ctx context.Context, n, t int, a, b []uint8, opts ...Op
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -265,7 +291,7 @@ func Convolution3SUM(ctx context.Context, a []uint64, bits int, opts ...Option) 
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -284,11 +310,11 @@ type CSPSystem = csp.System
 // O*(σ^{ωn/6})).
 func CSPDistribution(ctx context.Context, sys *CSPSystem, opts ...Option) ([]*big.Int, *Report, error) {
 	c := newConfig(opts)
-	p, err := csp.NewProblem(sys, c.base)
+	p, err := csp.NewProblem(sys, c.run.base)
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, rep, err := core.Run(ctx, p, c.opts)
+	proof, rep, err := runOneShot(ctx, p, c)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -300,4 +326,105 @@ func CSPDistribution(ctx context.Context, sys *CSPSystem, opts ...Option) ([]*bi
 // a convenience for experiments with the vector problems.
 func RandomBoolMatrix(n, t int, density float64, seed int64) []uint8 {
 	return randomBits(n, t, density, seed)
+}
+
+// --- Counting problems for the session API ------------------------------------
+
+// CountingProblem pairs a Problem with its integer-count recovery, so
+// counting workloads can be submitted to a Cluster asynchronously and
+// their answers recovered from the job's proof:
+//
+//	job := cluster.Submit(ctx, p)
+//	proof, _, err := job.Wait(ctx)
+//	count, err := p.Count(proof)
+type CountingProblem interface {
+	Problem
+	// Count recovers the integer answer from a decoded proof.
+	Count(proof *Proof) (*big.Int, error)
+}
+
+// countingProblem adapts an internal problem + recovery closure.
+type countingProblem struct {
+	core.Problem
+	count func(*core.Proof) (*big.Int, error)
+}
+
+func (p countingProblem) Count(proof *Proof) (*big.Int, error) { return p.count(proof) }
+
+// countingBatchProblem preserves the BatchProblem fast path through the
+// adapter: embedding the bare Problem interface would hide
+// EvaluateBlock from the scheduler's type assertion.
+type countingBatchProblem struct {
+	core.BatchProblem
+	count func(*core.Proof) (*big.Int, error)
+}
+
+func (p countingBatchProblem) Count(proof *Proof) (*big.Int, error) { return p.count(proof) }
+
+func newCountingProblem(p core.Problem, count func(*core.Proof) (*big.Int, error)) CountingProblem {
+	if bp, ok := p.(core.BatchProblem); ok {
+		return countingBatchProblem{BatchProblem: bp, count: count}
+	}
+	return countingProblem{Problem: p, count: count}
+}
+
+// NewTriangleProblem builds the Theorem 3 triangle-counting problem for
+// cluster submission. Run-scoped options select the tensor
+// decomposition; everything else is ignored.
+func NewTriangleProblem(g *Graph, opts ...RunOption) (CountingProblem, error) {
+	rs := applyRunOptions(opts)
+	p, err := triangles.NewProblem(g.g, rs.base)
+	if err != nil {
+		return nil, err
+	}
+	return newCountingProblem(p, p.Recover), nil
+}
+
+// NewCliqueProblem builds the Theorem 1 k-clique problem (k divisible
+// by 6) for cluster submission.
+func NewCliqueProblem(g *Graph, k int, opts ...RunOption) (CountingProblem, error) {
+	rs := applyRunOptions(opts)
+	p, err := cliques.NewProblem(g.g, k, rs.base)
+	if err != nil {
+		return nil, err
+	}
+	return newCountingProblem(p, p.Recover), nil
+}
+
+// NewPermanentProblem builds the Theorem 8(2) permanent problem for
+// cluster submission.
+func NewPermanentProblem(a [][]int64) (CountingProblem, error) {
+	p, err := permanent.NewProblem(a)
+	if err != nil {
+		return nil, err
+	}
+	return newCountingProblem(p, p.Recover), nil
+}
+
+// NewCNFProblem builds the Theorem 8(1) #CNFSAT problem for cluster
+// submission.
+func NewCNFProblem(f *CNFFormula) (CountingProblem, error) {
+	p, err := cnfsat.NewProblem(f)
+	if err != nil {
+		return nil, err
+	}
+	return newCountingProblem(p, p.CountSolutions), nil
+}
+
+// NewHamiltonianCycleProblem builds the Theorem 8(3) Hamiltonian cycle
+// problem for cluster submission.
+func NewHamiltonianCycleProblem(g *Graph) (CountingProblem, error) {
+	p, err := hamilton.NewProblem(g.g)
+	if err != nil {
+		return nil, err
+	}
+	return newCountingProblem(p, p.RecoverUndirected), nil
+}
+
+func applyRunOptions(opts []RunOption) runSettings {
+	rs := defaultRunSettings()
+	for _, o := range opts {
+		o.applyRun(&rs)
+	}
+	return rs
 }

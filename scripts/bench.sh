@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# bench.sh — run the arithmetic-layer microbenchmarks plus the headline
-# end-to-end benchmarks (E12 Gao decode, E14 batch evaluation) and emit
-# the results as BENCH_<n>.json at the repository root, seeding the
+# bench.sh — run the arithmetic-layer microbenchmarks, the headline
+# end-to-end benchmarks (E12 Gao decode, E14 batch evaluation), and the
+# session-layer job-throughput comparison (one warm cluster vs
+# sequential core.Run, concurrent vs sequential Tutte FK lines), and
+# emit the results as BENCH_<n>.json at the repository root, seeding the
 # perf-trajectory record that PR descriptions quote.
 #
 # Usage: scripts/bench.sh [N]
-#   N        suffix for BENCH_N.json (default 2)
+#   N        suffix for BENCH_N.json (default 3)
 #   BENCHTIME  overrides the go benchtime (default 2s for micro, 10x for e2e)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-2}"
+N="${1:-3}"
 MICRO_TIME="${BENCHTIME:-2s}"
 E2E_TIME="${BENCHTIME:-10x}"
 OUT="BENCH_${N}.json"
@@ -26,8 +28,14 @@ echo "== end-to-end benchmarks (${E2E_TIME})" >&2
 go test -run xxx -bench 'BenchmarkE12GaoDecode|BenchmarkE14' \
     -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
 
-# Fold "Benchmark<name> <iters> <ns> ns/op ..." lines into JSON.
-awk -v host="$(uname -sm)" '
+echo "== session-layer job throughput (${E2E_TIME})" >&2
+go test -run xxx -bench 'BenchmarkJobs' \
+    -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
+
+# Fold "Benchmark<name> <iters> <ns> ns/op ..." lines into JSON, and
+# derive the session-layer throughput ratios (sequential ns / cluster
+# ns — above 1 means the cluster wins; overlap gains require >1 CPU).
+awk -v host="$(uname -sm)" -v ncpu="$(nproc)" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -37,11 +45,21 @@ BEGIN { n = 0 }
     }
 }
 END {
-    printf "{\n  \"host\": \"%s\",\n  \"benchmarks\": [\n", host
+    printf "{\n  \"host\": \"%s\",\n  \"num_cpu\": %d,\n  \"benchmarks\": [\n", host, ncpu
     for (i = 0; i < n; i++) {
         printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", nm[i], ns[i], (i < n-1 ? "," : "")
+        v[nm[i]] = ns[i]
     }
-    printf "  ]\n}\n"
+    printf "  ]"
+    cl = v["BenchmarkJobsClusterThroughput"]; sq = v["BenchmarkJobsSequentialRun"]
+    tc = v["BenchmarkJobsTutteConcurrentLines"]; ts = v["BenchmarkJobsTutteSequentialLines"]
+    if (cl > 0 && sq > 0) {
+        printf ",\n  \"ratios\": {\n"
+        printf "    \"cluster_jobs_per_sec_vs_sequential\": %.3f", sq / cl
+        if (tc > 0 && ts > 0) printf ",\n    \"tutte_concurrent_vs_sequential\": %.3f", ts / tc
+        printf "\n  }"
+    }
+    printf "\n}\n"
 }' "$TMP" > "$OUT"
 
 echo "wrote $OUT" >&2
