@@ -28,11 +28,25 @@ package camelot
 
 import (
 	"math/rand"
+	"time"
 
 	"camelot/internal/core"
 	"camelot/internal/graph"
+	"camelot/internal/rs"
 	"camelot/internal/tensor"
 )
+
+// ErrDecodeFailure is the typed failure of a run whose combined faults
+// exceed the Reed–Solomon budget — too many corrupted shares, too many
+// lost broadcasts, or both (2·errors + erasures > e-d-1). Match with
+// errors.Is; the budget arithmetic lives in the run's FaultTolerance
+// and MaxErasures options.
+var ErrDecodeFailure = rs.ErrDecodeFailure
+
+// ErrQuorumUnsupported is returned when a run tolerating delivery
+// faults (WithMaxErasures) is configured with a custom transport that
+// cannot gather by quorum. The built-in transports all can.
+var ErrQuorumUnsupported = core.ErrQuorumUnsupported
 
 // Report summarizes a run: sizing (proof symbols, code length, primes),
 // timing (per-node and total compute), adversary damage (suspect nodes,
@@ -65,8 +79,25 @@ type TransportFactory = core.TransportFactory
 // NodeShares is the message a node broadcasts over the Transport.
 type NodeShares = core.NodeShares
 
+// LossyConfig parameterizes the simulated network faults of a lossy
+// transport: seeded drop/delay/duplicate decisions plus a deterministic
+// list of senders whose broadcasts are always lost.
+type LossyConfig = core.LossyConfig
+
 // NewBroadcastBus returns the default in-memory transport for k nodes.
 func NewBroadcastBus(k int) *core.BroadcastBus { return core.NewBroadcastBus(k) }
+
+// NewShardedTransport returns a transport that partitions k nodes into
+// per-shard buses bridged by cross-shard relay goroutines.
+func NewShardedTransport(k, shards int) *core.ShardedTransport {
+	return core.NewShardedTransport(k, shards)
+}
+
+// NewLossyTransport wraps an inner transport with the seeded fault
+// model of cfg (see WithLossyTransport for the factory form).
+func NewLossyTransport(inner Transport, cfg LossyConfig) *core.LossyTransport {
+	return core.NewLossyTransport(inner, cfg)
+}
 
 // SilentNodes returns a crash-fault adversary: the listed nodes send
 // nothing.
@@ -192,6 +223,29 @@ func WithTransport(tf TransportFactory) ClusterOption {
 	return clusterOption(func(cc *clusterConfig) { cc.newTransport = tf })
 }
 
+// WithShardedTransport partitions the cluster's nodes into the given
+// number of per-shard buses bridged by cross-shard relay goroutines —
+// the paper's broadcast bus split across machine groups. Replaces any
+// previously configured transport.
+func WithShardedTransport(shards int) ClusterOption {
+	return clusterOption(func(cc *clusterConfig) {
+		cc.newTransport = func(k int) Transport { return core.NewShardedTransport(k, shards) }
+	})
+}
+
+// WithLossyTransport simulates a faulty network: seeded, per-sender
+// decisions to drop, delay, or duplicate share broadcasts, layered over
+// whatever transport the preceding options configured (the broadcast
+// bus by default, so order matters: place this after
+// WithShardedTransport to lose messages on a sharded network). Runs on
+// a lossy cluster that may actually drop messages also need the
+// run-scoped WithMaxErasures to opt into erasure-tolerant gathering.
+func WithLossyTransport(cfg LossyConfig) ClusterOption {
+	return clusterOption(func(cc *clusterConfig) {
+		cc.newTransport = core.NewLossyFactory(cfg, cc.newTransport)
+	})
+}
+
 // WithFaultTolerance sets the number f of corrupted shares the run
 // survives; the codeword is lengthened to e = d+1+2f.
 func WithFaultTolerance(f int) RunOption {
@@ -218,6 +272,25 @@ func WithVerifyTrials(trials int) RunOption {
 // (0 = all, the paper's model).
 func WithDecodingNodes(k int) RunOption {
 	return runOption(func(rs *runSettings) { rs.opts.DecodingNodes = k })
+}
+
+// WithMaxErasures lets the run tolerate losing up to n node broadcasts
+// in delivery: the gather returns once K-n distinct senders have been
+// heard (or the grace timer fires) and the missing nodes' coordinates
+// are decoded as Reed–Solomon erasures — each costing half an error in
+// the budget 2·errors + erasures ≤ e-d-1. Default 0: a strict run that
+// fails if any message is lost.
+func WithMaxErasures(n int) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.MaxErasures = n })
+}
+
+// WithGatherGrace bounds how long an erasure-tolerant gather waits
+// between hearing from *new* senders before giving up on stragglers
+// (default 2s; only meaningful with WithMaxErasures). Duplicate
+// deliveries do not renew the grace — only a sender not heard before
+// does, as does the moment all sending concludes.
+func WithGatherGrace(d time.Duration) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.GatherGrace = d })
 }
 
 // WithStrassenTensor selects the rank-7 ⟨2,2,2⟩ decomposition

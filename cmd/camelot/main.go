@@ -21,6 +21,15 @@
 // jobs on one long-lived cluster (see jobs.go for the manifest format):
 //
 //	camelot jobs -manifest workload.txt -nodes 4
+//
+// Every subcommand (jobs included) also takes transport fault-simulation
+// flags: -shards splits the broadcast bus into per-shard buses with a
+// cross-shard relay, -dropnodes/-droprate/-duprate/-delayrate/-maxdelay
+// wrap the transport in a seeded lossy network, and -erasures/-grace
+// opt the run into the erasure-tolerant quorum gather that survives the
+// losses:
+//
+//	camelot triangles -n 48 -nodes 8 -faults 6 -shards 3 -dropnodes 2 -erasures 2
 package main
 
 import (
@@ -49,6 +58,14 @@ type commonFlags struct {
 	parallelism           int
 	seed                  int64
 	lie, silence, equiv   string
+
+	// Transport fault simulation (sharded/lossy networks).
+	shards                       int
+	dropNodes                    string
+	dropRate, dupRate, delayRate float64
+	maxDelay                     time.Duration
+	erasures                     int
+	grace                        time.Duration
 }
 
 func (cf *commonFlags) register(fs *flag.FlagSet) {
@@ -60,6 +77,14 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&cf.lie, "lie", "", "comma-separated node ids that broadcast garbage")
 	fs.StringVar(&cf.silence, "silence", "", "comma-separated node ids that crash")
 	fs.StringVar(&cf.equiv, "equivocate", "", "comma-separated node ids that equivocate")
+	fs.IntVar(&cf.shards, "shards", 0, "partition nodes into this many per-shard buses with a cross-shard relay (0 = one broadcast bus)")
+	fs.StringVar(&cf.dropNodes, "dropnodes", "", "comma-separated node ids whose broadcasts the network always loses")
+	fs.Float64Var(&cf.dropRate, "droprate", 0, "probability a node's broadcast is dropped")
+	fs.Float64Var(&cf.dupRate, "duprate", 0, "probability a broadcast is delivered twice")
+	fs.Float64Var(&cf.delayRate, "delayrate", 0, "probability a broadcast is delayed")
+	fs.DurationVar(&cf.maxDelay, "maxdelay", 20*time.Millisecond, "upper bound on injected delivery delay")
+	fs.IntVar(&cf.erasures, "erasures", 0, "tolerate losing up to this many node broadcasts (decoded as erasures)")
+	fs.DurationVar(&cf.grace, "grace", 0, "erasure-tolerant gather grace timer (0 = framework default)")
 }
 
 // splitOptions resolves the flags into the session API's two scopes:
@@ -90,6 +115,38 @@ func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOpt
 			ids = append(ids, id)
 		}
 		return ids, nil
+	}
+	if cf.shards > 0 {
+		cluster = append(cluster, camelot.WithShardedTransport(cf.shards))
+	}
+	dropIDs, err := parse(cf.dropNodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(dropIDs) > 0 || cf.dropRate > 0 || cf.dupRate > 0 || cf.delayRate > 0 {
+		// Losing or duplicating messages under the strict gather either
+		// hangs (the collector waits forever for all K) or misreads a
+		// duplicate as a missing node; demand the erasure opt-in rather
+		// than let the run wedge.
+		if (len(dropIDs) > 0 || cf.dropRate > 0 || cf.dupRate > 0) && cf.erasures <= 0 {
+			return nil, nil, fmt.Errorf("-dropnodes/-droprate/-duprate need -erasures N: a strict gather waits forever for lost messages")
+		}
+		// The lossy wrapper layers over whatever came before it — the
+		// sharded network when -shards is set, the plain bus otherwise.
+		cluster = append(cluster, camelot.WithLossyTransport(camelot.LossyConfig{
+			Seed:      cf.seed,
+			DropNodes: dropIDs,
+			DropRate:  cf.dropRate,
+			DupRate:   cf.dupRate,
+			DelayRate: cf.delayRate,
+			MaxDelay:  cf.maxDelay,
+		}))
+	}
+	if cf.erasures > 0 {
+		run = append(run, camelot.WithMaxErasures(cf.erasures))
+	}
+	if cf.grace > 0 {
+		run = append(run, camelot.WithGatherGrace(cf.grace))
 	}
 	if ids, err := parse(cf.lie); err != nil {
 		return nil, nil, err
@@ -355,8 +412,8 @@ func report(label string, count *big.Int, rep *camelot.Report, err error) error 
 
 func printReport(rep *camelot.Report) {
 	fmt.Printf("  problem        %s\n", rep.Problem)
-	fmt.Printf("  nodes          %d (byzantine: %v, identified: %v)\n",
-		rep.Nodes, rep.ByzantineNodes, rep.SuspectNodes)
+	fmt.Printf("  nodes          %d (byzantine: %v, identified: %v, undelivered: %v)\n",
+		rep.Nodes, rep.ByzantineNodes, rep.SuspectNodes, rep.MissingNodes)
 	fmt.Printf("  proof          degree %d, %d symbols over primes %v\n",
 		rep.Degree, rep.ProofSymbols, rep.Primes)
 	fmt.Printf("  codeword       %d points, tolerance %d, corrupted shares seen %d\n",

@@ -1,0 +1,93 @@
+// Chaos: the paper's Camelot on a bad network. Eight Knights count
+// triangles over a sharded messenger system — three per-shard buses
+// bridged by relays — while the network itself misbehaves: two Knights'
+// broadcasts are lost outright and every surviving scroll may arrive
+// twice. The collector gathers by quorum instead of insisting on every
+// message, the decoders treat the lost Knights' coordinates as
+// Reed–Solomon erasures, and the proof still comes out bit-identical to
+// a calm-weather run. Then the storm worsens past the code's budget,
+// and the run fails loudly with a typed decode error instead of lying.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"camelot"
+)
+
+func main() {
+	ctx := context.Background()
+	g := camelot.RandomGraph(32, 0.3, 11)
+
+	// Calm weather first: the reference proof on a perfect bus.
+	calm, calmRep, err := camelot.CountTriangles(ctx, g, camelot.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calm run:  %v triangles (degree %d proof)\n", calm, calmRep.Degree)
+
+	// Storm: 8 nodes on 3 shards; nodes 2 and 6 are unreachable and
+	// every delivered message is duplicated. Losing 2 of 8 nodes erases
+	// 2·⌈e/8⌉ coordinates, so pick f with 2f ≥ that budget.
+	const k = 8
+	faults := 0
+	for {
+		e := calmRep.Degree + 1 + 2*faults
+		if 2*faults >= 2*((e+k-1)/k) {
+			break
+		}
+		faults++
+	}
+	cluster := camelot.NewCluster(
+		camelot.WithNodes(k),
+		camelot.WithShardedTransport(3),
+		camelot.WithLossyTransport(camelot.LossyConfig{
+			Seed:      77,
+			DropNodes: []int{2, 6},
+			DupRate:   1.0,
+		}),
+	)
+	defer cluster.Close()
+
+	p, err := camelot.NewTriangleProblem(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := cluster.Submit(ctx, p,
+		camelot.WithSeed(5),
+		camelot.WithFaultTolerance(faults),
+		camelot.WithMaxErasures(2),
+		camelot.WithGatherGrace(500*time.Millisecond),
+	)
+	proof, rep, err := job.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stormy, err := p.Count(proof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("storm run: %v triangles — lost couriers %v decoded as erasures (f=%d)\n",
+		stormy, rep.MissingNodes, faults)
+	if stormy.Cmp(calm) != 0 {
+		log.Fatal("storm run disagrees with calm run")
+	}
+	fmt.Println("proofs agree bit for bit; delivery faults never entered the suspect list:", rep.SuspectNodes)
+
+	// Worse weather than the code can carry: drop most of the table.
+	job = cluster.Submit(ctx, p,
+		camelot.WithSeed(5),
+		camelot.WithFaultTolerance(1),
+		camelot.WithMaxErasures(6),
+		camelot.WithGatherGrace(300*time.Millisecond),
+	)
+	if _, _, err = job.Wait(ctx); errors.Is(err, camelot.ErrDecodeFailure) {
+		fmt.Println("hurricane run: refused honestly —", err)
+	} else {
+		log.Fatalf("hurricane run: expected a typed decode failure, got %v", err)
+	}
+}

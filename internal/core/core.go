@@ -31,6 +31,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"camelot/internal/ff"
 )
@@ -150,6 +151,19 @@ type Options struct {
 	// an instance because transports hold per-run message state while
 	// Options values are reused across runs.
 	NewTransport TransportFactory
+	// MaxErasures is the number of node broadcasts the run tolerates
+	// losing in delivery (default 0: every message must arrive). When
+	// positive, the gather runs in quorum mode — it returns once
+	// K-MaxErasures distinct senders have been heard or the GatherGrace
+	// timer fires — and the decode stage treats the missing nodes'
+	// coordinates as Reed–Solomon erasures: recovery succeeds whenever
+	// 2·(corrupted shares) + (erased shares) ≤ e-d-1. Requires a
+	// transport implementing QuorumGatherer (the built-ins all do).
+	MaxErasures int
+	// GatherGrace bounds how long a quorum-mode gather waits between
+	// message arrivals before treating the stragglers as lost (default
+	// 2s when MaxErasures > 0). Ignored in strict mode.
+	GatherGrace time.Duration
 	// Pool, when non-nil, substitutes the session layer's shared
 	// long-lived worker pool for the per-run scheduler; MaxParallelism
 	// is then ignored (the pool's width was fixed at construction).
@@ -175,6 +189,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NewTransport == nil {
 		o.NewTransport = func(k int) Transport { return NewBroadcastBus(k) }
+	}
+	if o.MaxErasures < 0 {
+		o.MaxErasures = 0
+	}
+	if o.MaxErasures > 0 && o.GatherGrace <= 0 {
+		o.GatherGrace = 2 * time.Second
 	}
 	return o
 }

@@ -38,10 +38,14 @@ func (a *decodeResult) sameProof(b *decodeResult) bool {
 }
 
 // decodeAsNode assembles the word the recipient received — shares from
-// each sender pass through the adversary — and runs the Gao decoder for
-// every prime and coordinate, checking ctx between decodes.
-func decodeAsNode(ctx context.Context, recipient int, primes []uint64, codes []*rs.Code,
-	all []NodeShares, assign PointAssignment, adv Adversary, w, e int) (*decodeResult, error) {
+// each delivered sender pass through the adversary — and runs the Gao
+// decoder for every prime and coordinate, checking ctx between decodes.
+// Each prime's ErasurePlan carries the coordinates of senders whose
+// broadcasts the transport lost: their word slots are never read, and
+// they never become suspects — only content errors among delivered
+// shares do.
+func decodeAsNode(ctx context.Context, recipient int, primes []uint64, plans []*rs.ErasurePlan,
+	shares []NodeShares, assign PointAssignment, adv Adversary, w, e int) (*decodeResult, error) {
 	res := &decodeResult{
 		coeffs:   make(map[uint64][][]uint64, len(primes)),
 		evals:    make(map[uint64][][]uint64, len(primes)),
@@ -55,16 +59,16 @@ func decodeAsNode(ctx context.Context, recipient int, primes []uint64, codes []*
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			for _, sender := range all {
+			for _, sender := range shares {
 				for x := sender.Lo; x < sender.Hi; x++ {
 					v, delivered := adv.Transform(sender.ID, recipient, q, c, x, sender.Vals[pi][c][x-sender.Lo])
 					if !delivered {
-						v = 0 // missing share: decoder sees it as a (probable) error symbol
+						v = 0 // suppressed share: decoder sees it as a (probable) error symbol
 					}
 					word[x] = v
 				}
 			}
-			msg, corrected, locs, err := codes[pi].Decode(word)
+			msg, corrected, locs, err := plans[pi].Decode(word)
 			if err != nil {
 				return nil, fmt.Errorf("prime %d coord %d: %w", q, c, err)
 			}

@@ -39,6 +39,10 @@ type Report struct {
 	// SuspectNodes are the nodes the honest decoders identified as having
 	// contributed corrupted shares (union across decoders).
 	SuspectNodes []int
+	// MissingNodes are the nodes whose share broadcasts never arrived —
+	// delivery faults, reported distinctly from the content-fault
+	// SuspectNodes. Their coordinates were decoded as erasures.
+	MissingNodes []int
 	// CorruptedShares is the largest number of error locations any single
 	// decoder observed (per prime and coordinate, maximized).
 	CorruptedShares int
@@ -149,11 +153,11 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
 	en.obs.Geometry(en.e*len(en.primes), en.k)
-	all, err := en.stagePrepare(ctx)
+	prep, err := en.stagePrepare(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
-	proof, err := en.stageDecode(ctx, all)
+	proof, err := en.stageDecode(ctx, prep)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
@@ -199,6 +203,15 @@ type prepNode struct {
 	elapsedNS atomic.Int64
 }
 
+// prepared is the prepare stage's product: the delivered share
+// messages ordered by node id, plus the ids whose broadcasts never
+// arrived (their coordinates become Reed–Solomon erasures in the
+// decode stage).
+type prepared struct {
+	shares  []NodeShares
+	missing []int
+}
+
 // stagePrepare is protocol step 1 (distributed encoded proof
 // preparation): every node evaluates its owned block of the codeword for
 // every prime and coordinate and broadcasts it as one message over the
@@ -212,12 +225,27 @@ type prepNode struct {
 // point is evaluated independently and written to its own slot (and the
 // BatchProblem contract requires block results to match point-wise
 // evaluation bit for bit).
-func (en *engine) stagePrepare(ctx context.Context) ([]NodeShares, error) {
+// In quorum mode (Options.MaxErasures > 0) the gather tolerates
+// delivery faults: it returns once K-MaxErasures distinct senders have
+// been heard or the grace timer fires, stragglers are cut loose (their
+// pending work is cancelled — it could only produce messages the run
+// has already given up on), and the missing node ids are passed to the
+// decode stage as erasures instead of failing the run.
+func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	en.obs.StageStart(StagePrepare)
 	tr := en.opts.NewTransport(en.k)
+	quorumMode := en.opts.MaxErasures > 0
+	var quorumTr QuorumGatherer
+	if quorumMode {
+		var ok bool
+		if quorumTr, ok = tr.(QuorumGatherer); !ok {
+			return nil, fmt.Errorf("%w: MaxErasures=%d needs one, %T is not",
+				ErrQuorumUnsupported, en.opts.MaxErasures, tr)
+		}
+	}
 	parts := 1
 	if w := en.execWidth(); w > en.k {
 		parts = (w + en.k - 1) / en.k
@@ -252,7 +280,12 @@ func (en *engine) stagePrepare(ctx context.Context) ([]NodeShares, error) {
 	gatherCtx, cancelGather := context.WithCancel(ctx)
 	defer cancelGather()
 	poolDone := make(chan error, 1)
+	// sendsDone tells a quorum gather that no further Send can occur,
+	// so a total-loss network ends in one grace period instead of
+	// waiting out the caller's context.
+	sendsDone := make(chan struct{})
 	go func() {
+		defer close(sendsDone)
 		err := en.runTasks(sendCtx, len(chunks), func(ti int) error {
 			ch := chunks[ti]
 			st := nodes[ch.node]
@@ -278,36 +311,71 @@ func (en *engine) stagePrepare(ctx context.Context) ([]NodeShares, error) {
 		}
 		poolDone <- err
 	}()
-	msgs, gatherErr := tr.Gather(gatherCtx, en.k)
-	if gatherErr != nil {
-		cancelSend()
+	var msgs []NodeShares
+	var gatherErr error
+	if quorumMode {
+		msgs, gatherErr = quorumTr.GatherQuorum(gatherCtx, GatherSpec{
+			K:         en.k,
+			Quorum:    en.k - en.opts.MaxErasures,
+			Grace:     en.opts.GatherGrace,
+			SendsDone: sendsDone,
+		})
+	} else {
+		msgs, gatherErr = tr.Gather(gatherCtx, en.k)
 	}
+	// Either outcome ends the senders' world: after a failure the
+	// cancellation frees workers stuck on a dead collector; after a
+	// success any straggler still computing or sending is cut loose
+	// (strict gathers have heard every node by now, quorum gathers have
+	// decided to erase the rest).
+	cancelSend()
 	poolErr := <-poolDone
 	// Prefer the root cause over the cancellation it triggered on the
 	// other side.
-	for _, err := range []error{poolErr, gatherErr} {
-		if err != nil && !errors.Is(err, context.Canceled) {
-			return nil, err
-		}
-	}
-	if poolErr != nil {
+	if poolErr != nil && !errors.Is(poolErr, context.Canceled) {
 		return nil, poolErr
 	}
 	if gatherErr != nil {
 		return nil, gatherErr
 	}
-	all, err := collectShares(msgs, en.k)
+	delivered, missing, err := collectShares(msgs, en.k)
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range all {
+	if len(missing) > 0 && !quorumMode {
+		if len(msgs) > len(delivered) {
+			// The strict gather counts raw messages, so duplicated
+			// deliveries consumed the slots of a sender still in
+			// flight — name the real defect, not a phantom loss.
+			return nil, fmt.Errorf("transport duplicated deliveries (%d messages from %d senders) while node %d went unheard; tolerate delivery faults with MaxErasures",
+				len(msgs), len(delivered), missing[0])
+		}
+		return nil, fmt.Errorf("transport delivered no message from node %d", missing[0])
+	}
+	en.report.MissingNodes = missing
+	en.obs.DeliveryFaults(len(missing))
+	for _, m := range delivered {
 		en.report.TotalNodeCompute += m.Elapsed
 		if m.Elapsed > en.report.MaxNodeCompute {
 			en.report.MaxNodeCompute = m.Elapsed
 		}
 	}
 	en.report.ComputeWall = time.Since(computeStart)
-	return all, nil
+	return &prepared{shares: delivered, missing: missing}, nil
+}
+
+// erasedPoints expands missing node ids into the evaluation-point
+// indices they owned — the erasure set every decoder passes to the
+// Reed–Solomon decoder.
+func (en *engine) erasedPoints(missing []int) []int {
+	var out []int
+	for _, id := range missing {
+		lo, hi := en.assign.Range(id)
+		for x := lo; x < hi; x++ {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // cutRange splits [lo, hi) into at most parts non-empty, contiguous,
@@ -337,8 +405,11 @@ func cutRange(lo, hi, parts int) [][2]int {
 // stageDecode is protocol step 2 (error correction during preparation):
 // every honest node assembles its own received word — the adversary may
 // equivocate per recipient — decodes it independently on the worker
-// pool, and the decoded proofs are checked for agreement.
-func (en *engine) stageDecode(ctx context.Context, all []NodeShares) (*Proof, error) {
+// pool, and the decoded proofs are checked for agreement. Nodes whose
+// broadcasts the transport lost contribute no symbols: their
+// coordinates are decoded as erasures, which cost half an error each in
+// the Reed–Solomon budget and are never counted as suspects.
+func (en *engine) stageDecode(ctx context.Context, prep *prepared) (*Proof, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -351,6 +422,19 @@ func (en *engine) stageDecode(ctx context.Context, all []NodeShares) (*Proof, er
 	if en.opts.DecodingNodes > 0 && en.opts.DecodingNodes < len(decoders) {
 		decoders = decoders[:en.opts.DecodingNodes]
 	}
+	// One erasure plan per prime, shared read-only by every decoder:
+	// the erasure set is a property of the gather, not of any received
+	// word, and the plan's root-product precomputation is quadratic in
+	// the codeword length. An undecodable erasure set fails here.
+	erased := en.erasedPoints(prep.missing)
+	plans := make([]*rs.ErasurePlan, len(en.codes))
+	for pi, code := range en.codes {
+		plan, err := code.ErasurePlan(erased)
+		if err != nil {
+			return nil, fmt.Errorf("prime %d: %w", en.primes[pi], err)
+		}
+		plans[pi] = plan
+	}
 
 	decodeStart := time.Now()
 	results := make([]*decodeResult, len(decoders))
@@ -360,7 +444,7 @@ func (en *engine) stageDecode(ctx context.Context, all []NodeShares) (*Proof, er
 	suspects := map[int]bool{}
 	err := en.runTasks(ctx, len(decoders), func(di int) error {
 		recipient := decoders[di]
-		res, err := decodeAsNode(ctx, recipient, en.primes, en.codes, all, en.assign, en.opts.Adversary, en.w, en.e)
+		res, err := decodeAsNode(ctx, recipient, en.primes, plans, prep.shares, en.assign, en.opts.Adversary, en.w, en.e)
 		if err != nil {
 			return fmt.Errorf("node %d decoding: %w", recipient, err)
 		}

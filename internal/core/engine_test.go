@@ -177,9 +177,12 @@ func TestBroadcastBusRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	all, err := collectShares(msgs, 3)
+	all, missing, err := collectShares(msgs, 3)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v on a complete gather", missing)
 	}
 	for id, m := range all {
 		if m.ID != id || m.Lo != id {
@@ -189,17 +192,30 @@ func TestBroadcastBusRoundTrip(t *testing.T) {
 }
 
 func TestCollectSharesDetectsProtocolViolations(t *testing.T) {
-	if _, err := collectShares([]NodeShares{{ID: 0}, {ID: 0}}, 2); err == nil {
-		t.Fatal("duplicate sender accepted")
+	// Duplicated delivery is a transport fault, not a protocol
+	// violation: the first copy wins and nothing is reported missing.
+	all, missing, err := collectShares([]NodeShares{{ID: 0, Lo: 1}, {ID: 0, Lo: 9}, {ID: 1}}, 2)
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("duplicate delivery: all=%v missing=%v err=%v", all, missing, err)
 	}
-	if _, err := collectShares([]NodeShares{{ID: 5}}, 2); err == nil {
+	if len(all) != 2 || all[0].Lo != 1 {
+		t.Fatalf("dedup did not keep the first copy: %+v", all)
+	}
+	// A sender outside [0, k) is a protocol violation.
+	if _, _, err := collectShares([]NodeShares{{ID: 5}}, 2); err == nil {
 		t.Fatal("out-of-range sender accepted")
 	}
-	if _, err := collectShares([]NodeShares{{ID: 0}}, 2); err == nil {
-		t.Fatal("missing sender accepted")
+	// Missing senders are reported, not errored — the engine decides
+	// whether the run is strict (fail) or erasure-tolerant (decode).
+	all, missing, err = collectShares([]NodeShares{{ID: 1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || len(missing) != 2 || missing[0] != 0 || missing[1] != 2 {
+		t.Fatalf("all=%v missing=%v, want one delivered and missing [0 2]", all, missing)
 	}
 	boom := errors.New("node exploded")
-	if _, err := collectShares([]NodeShares{{ID: 0}, {ID: 1, Err: boom}}, 2); !errors.Is(err, boom) {
+	if _, _, err := collectShares([]NodeShares{{ID: 0}, {ID: 1, Err: boom}}, 2); !errors.Is(err, boom) {
 		t.Fatalf("in-band node error not surfaced: %v", err)
 	}
 }

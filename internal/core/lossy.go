@@ -1,0 +1,143 @@
+package core
+
+// LossyTransport simulates a faulty network over any inner transport:
+// seeded, per-message decisions to drop, delay, or duplicate a node's
+// broadcast (reordering follows from delays and duplicate timing). The
+// fate of a message is a pure function of (Seed, sender id) — not of
+// the wall-clock interleaving of Send calls — so a run's delivery-fault
+// pattern is reproducible no matter how the scheduler orders the
+// senders, which is what lets the chaos harness assert bit-identical
+// proofs across repetitions.
+//
+// Loss is a *delivery* fault: a dropped message simply never reaches
+// the collector, which reports the sender as missing and the decode
+// stage erases its coordinates. Contrast the Adversary, which corrupts
+// the *content* of delivered shares. The two compose freely.
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrQuorumUnsupported is returned when a run that tolerates delivery
+// faults (Options.MaxErasures > 0) is configured with a transport that
+// cannot gather by quorum.
+var ErrQuorumUnsupported = errors.New("core: transport does not support quorum gather")
+
+// LossyConfig parameterizes the simulated faults. The zero value is a
+// perfect network.
+type LossyConfig struct {
+	// Seed drives every per-message fate decision.
+	Seed int64
+	// DropNodes lists senders whose broadcasts are always lost —
+	// deterministic whole-node delivery failure, the transport-level
+	// analogue of SilentNodes.
+	DropNodes []int
+	// DropRate is the probability a message is dropped.
+	DropRate float64
+	// DupRate is the probability a surviving message is delivered twice.
+	DupRate float64
+	// DelayRate is the probability a surviving message is held for a
+	// fate-determined duration in (0, MaxDelay] before delivery.
+	DelayRate float64
+	// MaxDelay bounds the injected delay; 0 disables delays.
+	MaxDelay time.Duration
+}
+
+// LossyTransport wraps an inner Transport with simulated loss. Safe for
+// concurrent Send calls iff the inner transport is.
+type LossyTransport struct {
+	inner Transport
+	cfg   LossyConfig
+	drop  map[int]bool
+}
+
+var (
+	_ Transport      = (*LossyTransport)(nil)
+	_ QuorumGatherer = (*LossyTransport)(nil)
+)
+
+// NewLossyTransport wraps inner with the given fault model.
+func NewLossyTransport(inner Transport, cfg LossyConfig) *LossyTransport {
+	drop := make(map[int]bool, len(cfg.DropNodes))
+	for _, id := range cfg.DropNodes {
+		drop[id] = true
+	}
+	return &LossyTransport{inner: inner, cfg: cfg, drop: drop}
+}
+
+// NewLossyFactory returns a TransportFactory that wraps inner-built
+// transports with the fault model (inner nil means the default
+// BroadcastBus).
+func NewLossyFactory(cfg LossyConfig, inner TransportFactory) TransportFactory {
+	if inner == nil {
+		inner = func(k int) Transport { return NewBroadcastBus(k) }
+	}
+	return func(k int) Transport { return NewLossyTransport(inner(k), cfg) }
+}
+
+// chance maps a hash draw to [0, 1).
+func chance(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// fate decides what the network does to node id's broadcast —
+// deterministic in (Seed, id), independent of call order.
+func (t *LossyTransport) fate(id int) (drop bool, copies int, delay time.Duration) {
+	if t.drop[id] {
+		return true, 0, 0
+	}
+	seed := uint64(t.cfg.Seed)
+	if chance(garbage(seed, uint64(id), 1)) < t.cfg.DropRate {
+		return true, 0, 0
+	}
+	copies = 1
+	if chance(garbage(seed, uint64(id), 2)) < t.cfg.DupRate {
+		copies = 2
+	}
+	if t.cfg.MaxDelay > 0 && chance(garbage(seed, uint64(id), 3)) < t.cfg.DelayRate {
+		delay = 1 + time.Duration(garbage(seed, uint64(id), 4)%uint64(t.cfg.MaxDelay))
+	}
+	return false, copies, delay
+}
+
+// Send implements Transport: the message meets its fate on the way to
+// the inner transport. A drop consumes the message silently — from the
+// sender's point of view the broadcast succeeded.
+func (t *LossyTransport) Send(ctx context.Context, m NodeShares) error {
+	drop, copies, delay := t.fate(m.ID)
+	if drop {
+		return nil
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for i := 0; i < copies; i++ {
+		if err := t.inner.Send(ctx, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gather implements Transport by delegation. With drops configured, a
+// strict gather can never complete — use GatherQuorum (the engine does
+// when Options.MaxErasures > 0).
+func (t *LossyTransport) Gather(ctx context.Context, k int) ([]NodeShares, error) {
+	return t.inner.Gather(ctx, k)
+}
+
+// GatherQuorum implements QuorumGatherer by delegation; the inner
+// transport must support it too.
+func (t *LossyTransport) GatherQuorum(ctx context.Context, spec GatherSpec) ([]NodeShares, error) {
+	qg, ok := t.inner.(QuorumGatherer)
+	if !ok {
+		return nil, ErrQuorumUnsupported
+	}
+	return qg.GatherQuorum(ctx, spec)
+}

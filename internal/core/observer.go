@@ -55,12 +55,18 @@ type Observer interface {
 	// SuspectsFound reports the current size of the union of suspect
 	// node sets across the decoders that have finished so far.
 	SuspectsFound(count int)
+	// DeliveryFaults reports how many nodes' broadcasts never arrived,
+	// once, when the prepare stage's gather resolves. Delivery faults
+	// are a transport failure axis distinct from the content faults
+	// SuspectsFound tracks: a missing node is erased, not suspected.
+	DeliveryFaults(count int)
 }
 
 // nopObserver is the default when Options.Observer is nil.
 type nopObserver struct{}
 
-func (nopObserver) Geometry(int, int) {}
-func (nopObserver) StageStart(Stage)  {}
-func (nopObserver) PointsDone(int)    {}
-func (nopObserver) SuspectsFound(int) {}
+func (nopObserver) Geometry(int, int)  {}
+func (nopObserver) StageStart(Stage)   {}
+func (nopObserver) PointsDone(int)     {}
+func (nopObserver) SuspectsFound(int)  {}
+func (nopObserver) DeliveryFaults(int) {}

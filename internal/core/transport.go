@@ -3,10 +3,16 @@ package core
 // The transport layer carries the protocol's single message kind — a
 // node's broadcast of its evaluated shares — from the prepare stage to
 // the decode stage. The paper's model is a reliable broadcast bus; the
-// Transport interface keeps that as the default while leaving room for
-// sharded or lossy transports (message loss and corruption in flight are
-// already modeled separately by the Adversary, which acts on received
-// words, not on the transport).
+// Transport interface keeps that as the default while modeling the
+// delivery-fault axis explicitly: ShardedTransport partitions nodes
+// into per-shard buses bridged by relay goroutines, and LossyTransport
+// drops, delays, duplicates, and reorders messages under a seeded RNG.
+// Delivery faults (a message that never arrives) are distinct from the
+// content faults the Adversary injects: the Adversary corrupts the
+// *values* of received words per (sender, recipient) pair at decode
+// time, while a faulty transport loses whole messages — the collector
+// then reports the missing senders and the decode stage treats their
+// coordinates as Reed–Solomon erasures.
 
 import (
 	"context"
@@ -37,8 +43,51 @@ type Transport interface {
 	// networked transport) and must honor ctx cancellation.
 	Send(ctx context.Context, m NodeShares) error
 	// Gather blocks until k messages have arrived (or ctx is cancelled)
-	// and returns them in arbitrary order.
+	// and returns them in arbitrary order. It counts raw messages — a
+	// transport that can lose or duplicate them must also implement
+	// QuorumGatherer, which counts distinct senders instead.
 	Gather(ctx context.Context, k int) ([]NodeShares, error)
+}
+
+// GatherSpec parameterizes a quorum gather.
+type GatherSpec struct {
+	// K is the total number of expected senders (node ids 0..K-1).
+	K int
+	// Quorum is the number of distinct senders sufficient to return:
+	// the engine sets K - MaxErasures. Clamped to [1, K].
+	Quorum int
+	// Grace bounds how long the collector waits between message
+	// arrivals before giving up on stragglers: the timer arms on the
+	// first arrival, resets on every new distinct sender, and when it
+	// fires the gather returns whatever arrived — even below quorum
+	// (the decode stage then judges whether the erasures are
+	// recoverable). Before the first message there is no deadline —
+	// compute time is unbounded and the collector cannot tell a slow
+	// run from a dead network, so a gather that never hears anyone
+	// waits for SendsDone or ctx. Grace <= 0 disables the timer
+	// entirely.
+	Grace time.Duration
+	// SendsDone, when non-nil, is closed by the caller once no further
+	// Send can occur (the engine closes it when the worker pool has
+	// finished). The gather then allows one final grace period for the
+	// transport's in-flight hop to drain and returns whatever arrived —
+	// without this signal, a network that lost *every* message would
+	// never trip the first-arrival grace timer and the gather would
+	// wait for ctx alone.
+	SendsDone <-chan struct{}
+}
+
+// QuorumGatherer is the capability a transport needs to serve runs that
+// tolerate delivery faults (Options.MaxErasures > 0). GatherQuorum
+// returns when all K distinct senders have been heard, when Quorum
+// distinct senders have been heard (plus a non-blocking drain of
+// whatever else is already buffered, so an arrived message is never
+// erased just because the quorum filled first), or when the grace
+// timer fires — whichever comes first. The returned slice is the raw
+// message stream: duplicates are preserved (collectShares dedups them)
+// and only counting is by distinct sender.
+type QuorumGatherer interface {
+	GatherQuorum(ctx context.Context, spec GatherSpec) ([]NodeShares, error)
 }
 
 // TransportFactory builds a fresh Transport for a run of k nodes. A
@@ -53,7 +102,10 @@ type BroadcastBus struct {
 	ch chan NodeShares
 }
 
-var _ Transport = (*BroadcastBus)(nil)
+var (
+	_ Transport      = (*BroadcastBus)(nil)
+	_ QuorumGatherer = (*BroadcastBus)(nil)
+)
 
 // NewBroadcastBus returns a bus buffered for k messages.
 func NewBroadcastBus(k int) *BroadcastBus {
@@ -87,28 +139,127 @@ func (b *BroadcastBus) Gather(ctx context.Context, k int) ([]NodeShares, error) 
 	return out, nil
 }
 
-// collectShares orders k gathered messages by node id and surfaces any
-// in-band node failure.
-func collectShares(msgs []NodeShares, k int) ([]NodeShares, error) {
+// GatherQuorum implements QuorumGatherer.
+func (b *BroadcastBus) GatherQuorum(ctx context.Context, spec GatherSpec) ([]NodeShares, error) {
+	return gatherQuorum(ctx, b.ch, spec)
+}
+
+// gatherQuorum is the shared quorum-gather loop over a message channel;
+// see QuorumGatherer for the contract.
+func gatherQuorum(ctx context.Context, ch <-chan NodeShares, spec GatherSpec) ([]NodeShares, error) {
+	if spec.Quorum > spec.K {
+		spec.Quorum = spec.K
+	}
+	if spec.Quorum < 1 {
+		spec.Quorum = 1
+	}
+	// The grace timer arms on the first arrival, not at gather begin:
+	// until someone has finished computing there is nothing to measure
+	// stragglers against, and a slow problem must not read as loss.
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	armTimer := func() {
+		if spec.Grace <= 0 {
+			return
+		}
+		if timer == nil {
+			timer = time.NewTimer(spec.Grace)
+			timerC = timer.C
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(spec.Grace)
+	}
+	distinct := make(map[int]bool, spec.K)
+	var out []NodeShares
+	for len(distinct) < spec.Quorum {
+		select {
+		case m := <-ch:
+			out = append(out, m)
+			if m.ID >= 0 && m.ID < spec.K && !distinct[m.ID] {
+				distinct[m.ID] = true
+				// Every new sender renews the stragglers' grace, so a
+				// slow-but-alive network is never cut off mid-stream.
+				armTimer()
+			}
+		case <-spec.SendsDone:
+			// No further Send can occur: whatever is still coming sits
+			// in the transport's in-flight hop. Give it one grace to
+			// drain, then hand over the partial gather. With the timer
+			// disabled, settle for what is already buffered.
+			spec.SendsDone = nil
+			if spec.Grace <= 0 {
+				for {
+					select {
+					case m := <-ch:
+						out = append(out, m)
+					default:
+						return out, nil
+					}
+				}
+			}
+			armTimer()
+		case <-timerC:
+			return out, nil // deadline: hand over what arrived
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Quorum reached: drain whatever is already buffered without
+	// waiting further. A sender whose message has in fact arrived must
+	// not be erased just because the quorum filled first — erasures
+	// spend Reed–Solomon budget that content errors may need. The cap
+	// bounds the drain against a transport still actively duplicating.
+	for i := 0; i < 2*spec.K; i++ {
+		select {
+		case m := <-ch:
+			out = append(out, m)
+		default:
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// collectShares organizes gathered messages: it dedups repeated
+// deliveries (first copy wins), surfaces any in-band node failure,
+// and reports which of the k expected senders were never heard from.
+// It errors only on protocol violations (a sender outside [0, k)) and
+// node-side failures — missing senders are the caller's policy
+// decision (the engine fails a strict run and erases a lossy one).
+func collectShares(msgs []NodeShares, k int) (delivered []NodeShares, missing []int, err error) {
 	all := make([]NodeShares, k)
 	seen := make([]bool, k)
 	for _, m := range msgs {
 		if m.ID < 0 || m.ID >= k {
-			return nil, fmt.Errorf("transport delivered message from unknown node %d", m.ID)
+			return nil, nil, fmt.Errorf("transport delivered message from unknown node %d", m.ID)
 		}
 		if seen[m.ID] {
-			return nil, fmt.Errorf("transport delivered duplicate message from node %d", m.ID)
+			continue // duplicated delivery; the first copy already counted
 		}
 		if m.Err != nil {
-			return nil, m.Err
+			return nil, nil, m.Err
 		}
 		seen[m.ID] = true
 		all[m.ID] = m
 	}
-	for id, ok := range seen {
-		if !ok {
-			return nil, fmt.Errorf("transport delivered no message from node %d", id)
+	delivered = make([]NodeShares, 0, k)
+	for id, ok := range seen { // ascending, so both outputs sort by id
+		if ok {
+			delivered = append(delivered, all[id])
+		} else {
+			missing = append(missing, id)
 		}
 	}
-	return all, nil
+	return delivered, missing, nil
 }

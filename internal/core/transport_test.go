@@ -1,0 +1,367 @@
+package core
+
+// Unit and property tests for the transport layer itself: the
+// collector's tolerance of arbitrary message streams, the broadcast
+// bus's cancellation behaviour, the quorum-gather contract, and the
+// sharded/lossy implementations. End-to-end fault scenarios live in
+// chaos_test.go.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCollectSharesPropertySweep: over randomly permuted, duplicated,
+// and truncated message sets, collectShares never panics, never
+// invents or loses a sender, and reports the exact missing-id set.
+func TestCollectSharesPropertySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(12)
+		dropped := map[int]bool{}
+		for id := 0; id < k; id++ {
+			if rng.Float64() < 0.3 {
+				dropped[id] = true
+			}
+		}
+		var msgs []NodeShares
+		for id := 0; id < k; id++ {
+			if dropped[id] {
+				continue
+			}
+			copies := 1 + rng.Intn(3) // duplicated delivery
+			for c := 0; c < copies; c++ {
+				msgs = append(msgs, NodeShares{ID: id, Lo: id, Hi: id + 1})
+			}
+		}
+		rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+
+		delivered, missing, err := collectShares(msgs, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(delivered)+len(missing) != k {
+			t.Fatalf("trial %d: %d delivered + %d missing != k=%d", trial, len(delivered), len(missing), k)
+		}
+		seen := map[int]bool{}
+		for i, m := range delivered {
+			if dropped[m.ID] {
+				t.Fatalf("trial %d: dropped node %d delivered", trial, m.ID)
+			}
+			if m.Lo != m.ID {
+				t.Fatalf("trial %d: payload mangled for node %d", trial, m.ID)
+			}
+			if seen[m.ID] {
+				t.Fatalf("trial %d: node %d delivered twice after dedup", trial, m.ID)
+			}
+			seen[m.ID] = true
+			if i > 0 && delivered[i-1].ID >= m.ID {
+				t.Fatalf("trial %d: delivered not ordered by id", trial)
+			}
+		}
+		for i, id := range missing {
+			if !dropped[id] {
+				t.Fatalf("trial %d: node %d reported missing but was sent", trial, id)
+			}
+			if i > 0 && missing[i-1] >= id {
+				t.Fatalf("trial %d: missing ids not ascending: %v", trial, missing)
+			}
+		}
+		if len(missing) != len(dropped) {
+			t.Fatalf("trial %d: missing = %v, dropped = %v", trial, missing, dropped)
+		}
+	}
+}
+
+func TestBroadcastBusPreCancelledContexts(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Gather on an empty bus with a dead context must not block.
+	bus := NewBroadcastBus(2)
+	if _, err := bus.Gather(cancelled, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("gather: err = %v, want context.Canceled", err)
+	}
+	if _, err := bus.GatherQuorum(cancelled, GatherSpec{K: 2, Quorum: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("quorum gather: err = %v, want context.Canceled", err)
+	}
+	// Send on a *full* bus with a dead context must not block either
+	// (on a bus with free capacity a pre-cancelled Send may still
+	// succeed — select picks among ready cases — which is fine; the
+	// guarantee is no deadlock).
+	full := NewBroadcastBus(1)
+	if err := full.Send(context.Background(), NodeShares{ID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Send(cancelled, NodeShares{ID: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("send on full bus: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBroadcastBusMidGatherCancellation(t *testing.T) {
+	for _, quorum := range []bool{false, true} {
+		bus := NewBroadcastBus(3)
+		ctx, cancel := context.WithCancel(context.Background())
+		if err := bus.Send(ctx, NodeShares{ID: 0}); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			var err error
+			if quorum {
+				// No grace timer: the gather may only end by quorum or ctx.
+				_, err = bus.GatherQuorum(ctx, GatherSpec{K: 3, Quorum: 3})
+			} else {
+				_, err = bus.Gather(ctx, 3)
+			}
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond) // let the gather consume the lone message
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("quorum=%v: err = %v, want context.Canceled", quorum, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("quorum=%v: mid-gather cancellation did not unblock", quorum)
+		}
+	}
+}
+
+func TestGatherQuorumCountsDistinctSenders(t *testing.T) {
+	bus := NewBroadcastBus(8)
+	ctx := context.Background()
+	// Three raw messages but only two distinct senders: a quorum of 3
+	// must not be satisfied by the duplicate.
+	for _, id := range []int{0, 0, 1} {
+		if err := bus.Send(ctx, NodeShares{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	msgs, err := bus.GatherQuorum(ctx, GatherSpec{K: 4, Quorum: 3, Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("gather returned in %v — duplicate satisfied the quorum", elapsed)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("raw stream length %d, want 3 (duplicates preserved)", len(msgs))
+	}
+	_, missing, err := collectShares(msgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInts(missing, []int{2, 3}) {
+		t.Fatalf("missing = %v, want [2 3]", missing)
+	}
+}
+
+func TestGatherQuorumReturnsAtQuorum(t *testing.T) {
+	bus := NewBroadcastBus(8)
+	ctx := context.Background()
+	for id := 0; id < 3; id++ {
+		if err := bus.Send(ctx, NodeShares{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quorum 3 with an hour of grace: must return immediately.
+	start := time.Now()
+	msgs, err := bus.GatherQuorum(ctx, GatherSpec{K: 8, Quorum: 3, Grace: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 || time.Since(start) > 5*time.Second {
+		t.Fatalf("quorum return: %d msgs after %v", len(msgs), time.Since(start))
+	}
+}
+
+func TestShardedTransportDeliversAcrossShards(t *testing.T) {
+	const k = 9
+	tr := NewShardedTransport(k, 4)
+	if tr.Shards() != 4 {
+		t.Fatalf("shards = %d", tr.Shards())
+	}
+	ctx := context.Background()
+	for id := 0; id < k; id++ {
+		if err := tr.Send(ctx, NodeShares{ID: id, Lo: id, Hi: id + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := tr.Gather(ctx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, missing, err := collectShares(msgs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 || len(delivered) != k {
+		t.Fatalf("relays lost messages: missing %v", missing)
+	}
+	for id, m := range delivered {
+		if m.ID != id || m.Lo != id {
+			t.Fatalf("message %d misfiled: %+v", id, m)
+		}
+	}
+}
+
+func TestShardedTransportShutdownFreesLateSenders(t *testing.T) {
+	const k = 6
+	tr := NewShardedTransport(k, 2)
+	ctx := context.Background()
+	for id := 0; id < 4; id++ {
+		if err := tr.Send(ctx, NodeShares{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := tr.GatherQuorum(ctx, GatherSpec{K: k, Quorum: 4, Grace: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, missing, _ := collectShares(msgs, k); len(missing) != 2 {
+		t.Fatalf("missing = %v, want 2 stragglers", missing)
+	}
+	// The gather has returned and shut the relays down: a straggler's
+	// Send (and many of them — beyond any buffer) must complete as a
+	// no-op rather than wedge its worker.
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 10*k && err == nil; i++ {
+			err = tr.Send(ctx, NodeShares{ID: 4})
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("late Send blocked after gather shutdown")
+	}
+}
+
+func TestLossyTransportFateIsDeterministic(t *testing.T) {
+	cfg := LossyConfig{Seed: 5, DropRate: 0.4, DupRate: 0.5, DelayRate: 0.5, MaxDelay: time.Millisecond}
+	a := NewLossyTransport(NewBroadcastBus(1), cfg)
+	b := NewLossyTransport(NewBroadcastBus(1), cfg)
+	varied := false
+	for id := 0; id < 64; id++ {
+		d1, c1, del1 := a.fate(id)
+		d2, c2, del2 := b.fate(id)
+		if d1 != d2 || c1 != c2 || del1 != del2 {
+			t.Fatalf("fate(%d) differs across identically-seeded transports", id)
+		}
+		d3, c3, del3 := a.fate(id)
+		if d1 != d3 || c1 != c3 || del1 != del3 {
+			t.Fatalf("fate(%d) differs across calls", id)
+		}
+		if d1 || c1 == 2 || del1 > 0 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("no message met any fate at 40-50% rates over 64 senders")
+	}
+	// A different seed must produce a different fate pattern somewhere.
+	other := NewLossyTransport(NewBroadcastBus(1), LossyConfig{Seed: 6, DropRate: 0.4, DupRate: 0.5})
+	same := true
+	for id := 0; id < 64 && same; id++ {
+		d1, c1, _ := a.fate(id)
+		d2, c2, _ := other.fate(id)
+		same = d1 == d2 && c1 == c2
+	}
+	if same {
+		t.Fatal("seeds 5 and 6 produced identical fates for 64 senders")
+	}
+}
+
+func TestLossyTransportDropsAndDuplicates(t *testing.T) {
+	bus := NewBroadcastBus(16)
+	tr := NewLossyTransport(bus, LossyConfig{DropNodes: []int{2}, DupRate: 1})
+	ctx := context.Background()
+	for id := 0; id < 4; id++ {
+		if err := tr.Send(ctx, NodeShares{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 survivors × 2 copies on the inner bus, node 2 gone entirely.
+	if got := len(bus.ch); got != 6 {
+		t.Fatalf("inner bus holds %d messages, want 6", got)
+	}
+	msgs, err := tr.GatherQuorum(ctx, GatherSpec{K: 4, Quorum: 3, Grace: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missing, err := collectShares(msgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInts(missing, []int{2}) {
+		t.Fatalf("missing = %v, want [2]", missing)
+	}
+}
+
+// strictOnlyTransport implements Transport but not QuorumGatherer (no
+// embedding: that would promote the bus's GatherQuorum).
+type strictOnlyTransport struct{ inner *BroadcastBus }
+
+func (s strictOnlyTransport) Send(ctx context.Context, m NodeShares) error {
+	return s.inner.Send(ctx, m)
+}
+
+func (s strictOnlyTransport) Gather(ctx context.Context, k int) ([]NodeShares, error) {
+	return s.inner.Gather(ctx, k)
+}
+
+func TestRunRejectsQuorumOnStrictTransport(t *testing.T) {
+	_, _, err := Run(context.Background(), testProblem(), Options{
+		Nodes: 4, FaultTolerance: 4, MaxErasures: 1,
+		NewTransport: func(k int) Transport { return strictOnlyTransport{inner: NewBroadcastBus(k)} },
+	})
+	if !errors.Is(err, ErrQuorumUnsupported) {
+		t.Fatalf("err = %v, want ErrQuorumUnsupported", err)
+	}
+}
+
+func TestRunStrictModeStillRequiresEveryMessage(t *testing.T) {
+	// Without MaxErasures a lossy run cannot complete: the strict
+	// gather waits for all K and the run ends only with the context.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_, _, err := Run(ctx, testProblem(), Options{
+		Nodes: 4, FaultTolerance: 4,
+		NewTransport: func(k int) Transport {
+			return NewLossyTransport(NewBroadcastBus(k), LossyConfig{DropNodes: []int{0}})
+		},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunQuorumModeMatchesStrictWhenNothingIsLost(t *testing.T) {
+	p := testProblem()
+	strict, _, err := Run(context.Background(), p, Options{Nodes: 6, FaultTolerance: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quorum, rep, err := Run(context.Background(), p, Options{
+		Nodes: 6, FaultTolerance: 3, MaxErasures: 2, GatherGrace: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proofsEqual(strict, quorum); err != nil {
+		t.Fatalf("quorum mode changed the proof on a perfect network: %v", err)
+	}
+	if len(rep.MissingNodes) > 2 {
+		t.Fatalf("MissingNodes = %v beyond MaxErasures", rep.MissingNodes)
+	}
+}

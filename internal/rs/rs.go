@@ -73,6 +73,19 @@ func (c *Code) Points() []uint64 { return c.points }
 // guaranteed to correct: ⌊(e-d-1)/2⌋.
 func (c *Code) CorrectionRadius() int { return (len(c.points) - c.d - 1) / 2 }
 
+// CorrectionRadiusWithErasures returns the number of symbol *errors* the
+// decoder is guaranteed to correct when s symbols are additionally known
+// to be erased: ⌊(e-s-d-1)/2⌋. Equivalently, a received word decodes
+// whenever 2·errors + erasures ≤ e-d-1. Negative means even the erasures
+// alone exceed what the code can absorb.
+func (c *Code) CorrectionRadiusWithErasures(s int) int {
+	n := len(c.points) - s - c.d - 1
+	if n < 0 {
+		return -((-n + 1) / 2) // floor division: Go's / truncates toward zero
+	}
+	return n / 2
+}
+
 // Encode evaluates the message polynomial at every code point.
 // The message may have fewer than d+1 symbols (high coefficients zero).
 func (c *Code) Encode(message []uint64) ([]uint64, error) {
@@ -91,18 +104,118 @@ func (c *Code) Encode(message []uint64) ([]uint64, error) {
 // run the extended Euclidean algorithm on (G0, G1) stopping at degree
 // < (e+d+1)/2; the quotient G/V is the message iff the division is exact.
 func (c *Code) Decode(received []uint64) (message, corrected []uint64, errorLocs []int, err error) {
+	if len(received) != len(c.points) {
+		return nil, nil, nil, fmt.Errorf("rs: received word length %d, want %d", len(received), len(c.points))
+	}
+	return c.decodeOver(c.points, received, c.g0, nil)
+}
+
+// DecodeErasures decodes a received word in which the symbols at the
+// listed positions are known to be missing (erasures): their values in
+// received are ignored rather than treated as possible errors. The
+// decoder restricts Gao's algorithm to the surviving positions, which
+// doubles the budget an erased symbol gets relative to an error:
+// decoding succeeds whenever 2·errors + erasures ≤ e-d-1.
+//
+// errorLocs reports only *content* errors among the delivered symbols;
+// erased positions never appear in it (they are faults of delivery, not
+// of the sender's word). The corrected codeword is full length — erased
+// positions are filled in from the recovered polynomial. Duplicate
+// erasure indices are tolerated; out-of-range indices are rejected.
+//
+// DecodeErasures is the one-shot form; callers decoding many words
+// against the same erasure set (one per prime and coordinate, say)
+// should build an ErasurePlan once and reuse it.
+func (c *Code) DecodeErasures(received []uint64, erased []int) (message, corrected []uint64, errorLocs []int, err error) {
+	plan, err := c.ErasurePlan(erased)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return plan.Decode(received)
+}
+
+// ErasurePlan is a precomputed decoding context for one erasure set:
+// the erasure mask, the surviving evaluation points, and their root
+// product Π (x - x_i) — everything about the erasures that does not
+// depend on the received word. Plans are immutable and safe for
+// concurrent Decode calls, so one plan can serve every (decoder,
+// prime, coordinate) of a run that lost the same senders.
+type ErasurePlan struct {
+	c    *Code
+	mask []bool // nil when nothing is erased
+	pts  []uint64
+	g0   []uint64
+}
+
+// ErasurePlan validates the erasure set and precomputes the shortened
+// decoding context. An erasure set leaving fewer than d+1 symbols is
+// undecodable and fails here, with ErrDecodeFailure, before any word
+// is seen.
+func (c *Code) ErasurePlan(erased []int) (*ErasurePlan, error) {
+	e := len(c.points)
+	if len(erased) == 0 {
+		return &ErasurePlan{c: c, pts: c.points, g0: c.g0}, nil
+	}
+	mask := make([]bool, e)
+	s := 0
+	for _, i := range erased {
+		if i < 0 || i >= e {
+			return nil, fmt.Errorf("rs: erasure index %d out of range [0,%d)", i, e)
+		}
+		if !mask[i] {
+			mask[i] = true
+			s++
+		}
+	}
+	if e-s < c.d+1 {
+		return nil, fmt.Errorf("%w: %d erasures leave %d symbols, need %d for degree bound %d",
+			ErrDecodeFailure, s, e-s, c.d+1, c.d)
+	}
+	pts := make([]uint64, 0, e-s)
+	for i, x := range c.points {
+		if !mask[i] {
+			pts = append(pts, x)
+		}
+	}
+	return &ErasurePlan{c: c, mask: mask, pts: pts, g0: c.ring.ProductFromRoots(pts)}, nil
+}
+
+// Decode runs the erasure-aware Gao decoder against one received word;
+// see DecodeErasures for the contract.
+func (p *ErasurePlan) Decode(received []uint64) (message, corrected []uint64, errorLocs []int, err error) {
+	c := p.c
 	e := len(c.points)
 	if len(received) != e {
 		return nil, nil, nil, fmt.Errorf("rs: received word length %d, want %d", len(received), e)
 	}
-	g1 := c.ring.Interpolate(c.points, received)
+	vals := received
+	if p.mask != nil {
+		vals = make([]uint64, 0, len(p.pts))
+		for i, v := range received {
+			if !p.mask[i] {
+				vals = append(vals, v)
+			}
+		}
+	}
+	return c.decodeOver(p.pts, vals, p.g0, p.mask)
+}
+
+// decodeOver runs Gao's decoder on the (possibly erasure-shortened) code
+// over the given evaluation points: vals are the received symbols at
+// pts, g0 = Π (x - pts_i), and mask (nil when nothing is erased) marks
+// the erased positions of the full-length code so the corrected word
+// and error locations can be expressed in full-length coordinates.
+func (c *Code) decodeOver(pts, vals []uint64, g0 []uint64, mask []bool) (message, corrected []uint64, errorLocs []int, err error) {
+	e := len(c.points)
+	n := len(pts)
+	g1 := c.ring.Interpolate(pts, vals)
 	if poly.Degree(g1) < 0 {
-		// The all-zero word is itself the zero codeword (the Euclidean
+		// Every delivered symbol is zero: the zero codeword (the Euclidean
 		// recursion below would degenerate on G1 = 0).
 		return make([]uint64, c.d+1), make([]uint64, e), nil, nil
 	}
-	stop := (e + c.d + 1) / 2
-	g, _, v := c.ring.PartialXGCD(c.g0, g1, stop)
+	stop := (n + c.d + 1) / 2
+	g, _, v := c.ring.PartialXGCD(g0, g1, stop)
 	if poly.Degree(v) < 0 {
 		return nil, nil, nil, fmt.Errorf("%w: degenerate error locator", ErrDecodeFailure)
 	}
@@ -111,16 +224,22 @@ func (c *Code) Decode(received []uint64) (message, corrected []uint64, errorLocs
 		return nil, nil, nil, ErrDecodeFailure
 	}
 	corrected = c.ring.EvalMany(p, c.points)
+	q := c.ring.Field().Q
+	di := 0 // index into the delivered symbols
 	for i := range corrected {
-		if corrected[i] != received[i]%c.ring.Field().Q {
+		if mask != nil && mask[i] {
+			continue
+		}
+		if corrected[i] != vals[di]%q {
 			errorLocs = append(errorLocs, i)
 		}
+		di++
 	}
-	if len(errorLocs) > c.CorrectionRadius() {
+	if radius := c.CorrectionRadiusWithErasures(e - n); len(errorLocs) > radius {
 		// The Euclidean stop produced a "codeword" farther away than the
 		// radius — with that many errors uniqueness is void; refuse.
-		return nil, nil, nil, fmt.Errorf("%w: %d errors exceed radius %d",
-			ErrDecodeFailure, len(errorLocs), c.CorrectionRadius())
+		return nil, nil, nil, fmt.Errorf("%w: %d errors exceed radius %d (%d erasures)",
+			ErrDecodeFailure, len(errorLocs), radius, e-n)
 	}
 	message = make([]uint64, c.d+1)
 	copy(message, p)

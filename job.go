@@ -68,6 +68,11 @@ type JobStatus struct {
 	// Suspects is the live size of the union of suspect node sets
 	// across the decoders that have finished so far.
 	Suspects int
+	// DeliveryFaults is the number of nodes whose share broadcasts
+	// never arrived — transport losses decoded as erasures, reported
+	// distinctly from the content-fault Suspects. 0 until the prepare
+	// stage's gather resolves.
+	DeliveryFaults int
 	// Err is the terminal error for failed jobs, nil otherwise.
 	Err error
 }
@@ -78,10 +83,11 @@ type Job struct {
 	problem core.Problem
 	done    chan struct{}
 
-	stage       atomic.Int32
-	pointsDone  atomic.Int64
-	pointsTotal atomic.Int64
-	suspects    atomic.Int32
+	stage          atomic.Int32
+	pointsDone     atomic.Int64
+	pointsTotal    atomic.Int64
+	suspects       atomic.Int32
+	deliveryFaults atomic.Int32
 
 	// Terminal results; written once by finish before done is closed,
 	// read only after done (or under the done-channel happens-before).
@@ -138,12 +144,13 @@ func (j *Job) Err() error {
 // Status returns a point-in-time snapshot of the job's progress.
 func (j *Job) Status() JobStatus {
 	st := JobStatus{
-		Problem:     j.problem.Name(),
-		State:       JobRunning,
-		Stage:       Stage(j.stage.Load()),
-		PointsDone:  int(j.pointsDone.Load()),
-		PointsTotal: int(j.pointsTotal.Load()),
-		Suspects:    int(j.suspects.Load()),
+		Problem:        j.problem.Name(),
+		State:          JobRunning,
+		Stage:          Stage(j.stage.Load()),
+		PointsDone:     int(j.pointsDone.Load()),
+		PointsTotal:    int(j.pointsTotal.Load()),
+		Suspects:       int(j.suspects.Load()),
+		DeliveryFaults: int(j.deliveryFaults.Load()),
 	}
 	select {
 	case <-j.done:
@@ -185,4 +192,8 @@ func (o *jobObserver) SuspectsFound(count int) {
 			return
 		}
 	}
+}
+
+func (o *jobObserver) DeliveryFaults(count int) {
+	(*Job)(o).deliveryFaults.Store(int32(count))
 }
