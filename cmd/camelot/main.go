@@ -30,6 +30,15 @@
 // losses:
 //
 //	camelot triangles -n 48 -nodes 8 -faults 6 -shards 3 -dropnodes 2 -erasures 2
+//
+// The -tcp/-listen flags carry the share broadcasts over real sockets
+// instead of an in-memory bus: -tcp gives the address senders dial (the
+// collector binds it too), -listen overrides the bind address or — alone
+// — makes a loopback cluster on an ephemeral port. The lossy flags layer
+// on top, so a chaos run can drop frames off a real TCP stream:
+//
+//	camelot triangles -n 48 -nodes 8 -listen 127.0.0.1:0
+//	camelot triangles -n 20 -nodes 8 -faults 12 -listen 127.0.0.1:0 -dropnodes 2 -erasures 1
 package main
 
 import (
@@ -66,6 +75,10 @@ type commonFlags struct {
 	maxDelay                     time.Duration
 	erasures                     int
 	grace                        time.Duration
+
+	// Networked transport (NodeShares frames over TCP).
+	tcpAddr    string
+	listenAddr string
 }
 
 func (cf *commonFlags) register(fs *flag.FlagSet) {
@@ -85,6 +98,8 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.DurationVar(&cf.maxDelay, "maxdelay", 20*time.Millisecond, "upper bound on injected delivery delay")
 	fs.IntVar(&cf.erasures, "erasures", 0, "tolerate losing up to this many node broadcasts (decoded as erasures)")
 	fs.DurationVar(&cf.grace, "grace", 0, "erasure-tolerant gather grace timer (0 = framework default)")
+	fs.StringVar(&cf.tcpAddr, "tcp", "", "carry share broadcasts over TCP: senders dial (and the collector binds) this address")
+	fs.StringVar(&cf.listenAddr, "listen", "", "TCP collector bind address when it differs from -tcp; alone, a loopback cluster dialing the bound address (use 127.0.0.1:0 for an ephemeral port)")
 }
 
 // splitOptions resolves the flags into the session API's two scopes:
@@ -116,8 +131,19 @@ func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOpt
 		}
 		return ids, nil
 	}
+	if (cf.tcpAddr != "" || cf.listenAddr != "") && cf.shards > 0 {
+		return nil, nil, fmt.Errorf("-tcp/-listen and -shards are mutually exclusive: a run uses one transport")
+	}
 	if cf.shards > 0 {
 		cluster = append(cluster, camelot.WithShardedTransport(cf.shards))
+	}
+	// TCP before the lossy wrapper below, so injected faults ride the
+	// real socket path (loopback chaos).
+	if cf.tcpAddr != "" {
+		cluster = append(cluster, camelot.WithTCPTransport(cf.tcpAddr))
+	}
+	if cf.listenAddr != "" {
+		cluster = append(cluster, camelot.WithListenAddr(cf.listenAddr))
 	}
 	dropIDs, err := parse(cf.dropNodes)
 	if err != nil {

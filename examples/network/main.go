@@ -1,0 +1,112 @@
+// Network: Camelot over real sockets. The Knights no longer share a
+// table — eight of them count triangles while every share broadcast
+// travels a length-prefixed binary frame over loopback TCP to the
+// collector, multi-process style: dial, retry until the collector is
+// up, write the frame, hang up. The proof that comes back is
+// bit-identical to the in-memory bus run, because the transport seam
+// carries the same one message kind either way. Then the weather turns:
+// a lossy wrapper drops two Knights' frames off the socket, the quorum
+// gather hands the decoders a partial codeword, and the erasure budget
+// recovers the very same proof again.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"camelot"
+)
+
+func main() {
+	ctx := context.Background()
+	g := camelot.RandomGraph(32, 0.3, 11)
+	const k = 8
+
+	// Reference: the paper's reliable in-memory broadcast bus.
+	busCluster := camelot.NewCluster(camelot.WithNodes(k))
+	defer busCluster.Close()
+	p, err := camelot.NewTriangleProblem(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	busProof, _, err := busCluster.Submit(ctx, p, camelot.WithSeed(5)).Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, err := p.Count(busProof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-memory bus:  %v triangles\n", count)
+
+	// The same community over loopback TCP: WithListenAddr alone binds
+	// an ephemeral port per run and the senders dial whatever was
+	// bound. Every broadcast crosses a real socket.
+	tcpCluster := camelot.NewCluster(
+		camelot.WithNodes(k),
+		camelot.WithListenAddr("127.0.0.1:0"),
+	)
+	defer tcpCluster.Close()
+	tcpProof, tcpRep, err := tcpCluster.Submit(ctx, p, camelot.WithSeed(5)).Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same, err := proofBytesEqual(busProof, tcpProof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loopback TCP:   proof bit-identical to the bus run: %v (compute wall %v)\n",
+		same, tcpRep.ComputeWall.Round(1000))
+	if !same {
+		log.Fatal("transport changed the proof — it must never")
+	}
+
+	// Storm over the socket: nodes 2 and 6 lose every frame. Losing 2
+	// of 8 nodes erases 2·⌈e/8⌉ coordinates, so size f to cover it,
+	// and let the quorum gather stop waiting for the lost two.
+	faults := 0
+	for {
+		e := tcpRep.Degree + 1 + 2*faults
+		if 2*faults >= 2*((e+k-1)/k) {
+			break
+		}
+		faults++
+	}
+	stormCluster := camelot.NewCluster(
+		camelot.WithNodes(k),
+		camelot.WithListenAddr("127.0.0.1:0"),
+		camelot.WithLossyTransport(camelot.LossyConfig{Seed: 77, DropNodes: []int{2, 6}}),
+	)
+	defer stormCluster.Close()
+	stormProof, stormRep, err := stormCluster.Submit(ctx, p,
+		camelot.WithSeed(5),
+		camelot.WithFaultTolerance(faults),
+		camelot.WithMaxErasures(2),
+	).Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lossy TCP:      undelivered %v decoded as erasures, verified=%v\n",
+		stormRep.MissingNodes, stormRep.Verified)
+	stormCount, err := p.Count(stormProof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("                %v triangles — same answer off a stormy socket\n", stormCount)
+}
+
+// proofBytesEqual compares two proofs by their wire encoding — the
+// strictest bit-identity check the format offers.
+func proofBytesEqual(a, b *camelot.Proof) (bool, error) {
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		return false, err
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ab, bb), nil
+}

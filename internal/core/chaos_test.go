@@ -63,6 +63,22 @@ func chaosScenarios() []chaosScenario {
 			return NewLossyTransport(NewShardedTransport(k, shards), cfg)
 		}
 	}
+	// tcp binds an ephemeral loopback collector per run; a bind
+	// failure surfaces through the run as a typed transport error.
+	tcp := func(k int) Transport {
+		t, err := NewTCPTransport(k, TCPConfig{ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			return FailedTransport(err)
+		}
+		return t
+	}
+	lossyTCP := func(cfg LossyConfig) func(int64, int) Transport {
+		return func(seed int64, k int) Transport {
+			cfg := cfg
+			cfg.Seed = seed
+			return NewLossyTransport(tcp(k), cfg)
+		}
+	}
 	return []chaosScenario{
 		{
 			// The sharded bus alone is lossless: the strict gather path
@@ -107,6 +123,35 @@ func chaosScenarios() []chaosScenario {
 			name:  "adversary-plus-loss",
 			nodes: 8, faults: 4, maxErasures: 1, grace: 2 * time.Second,
 			transport:    lossy(LossyConfig{DropNodes: []int{6}}),
+			adversary:    func(seed int64) Adversary { return NewLyingNodes(uint64(seed), 3) },
+			wantMissing:  []int{6},
+			wantSuspects: []int{3},
+		},
+		{
+			// Real sockets, calm weather: the strict gather must hear
+			// all eight nodes over loopback TCP frames.
+			name:  "tcp-clean-strict",
+			nodes: 8, faults: 4,
+			transport:    func(_ int64, k int) Transport { return tcp(k) },
+			wantMissing:  []int{},
+			wantSuspects: []int{},
+		},
+		{
+			// Frames dropped off the socket: the TCP collector's quorum
+			// gather plus erasure decode recovers exactly as the
+			// in-memory transports do.
+			name:  "tcp-drop-within-budget",
+			nodes: 8, faults: 4, maxErasures: 2, grace: 2 * time.Second,
+			transport:    lossyTCP(LossyConfig{DropNodes: []int{2, 5}}),
+			wantMissing:  []int{2, 5},
+			wantSuspects: []int{},
+		},
+		{
+			// Morgana on a real network: a liar's corrupted content and
+			// a socket that loses node 6, on separate fault axes.
+			name:  "tcp-adversary-plus-loss",
+			nodes: 8, faults: 4, maxErasures: 1, grace: 2 * time.Second,
+			transport:    lossyTCP(LossyConfig{DropNodes: []int{6}}),
 			adversary:    func(seed int64) Adversary { return NewLyingNodes(uint64(seed), 3) },
 			wantMissing:  []int{6},
 			wantSuspects: []int{3},

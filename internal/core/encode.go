@@ -9,12 +9,20 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
 // proofMagic guards against decoding unrelated bytes; the trailing byte
 // is the format version.
 var proofMagic = [4]byte{'C', 'M', 'L', 1}
+
+// ErrMalformedProof is the typed rejection of proof bytes that cannot
+// be a Camelot proof: wrong magic, implausible or duplicated geometry,
+// or a size claim the data cannot back. Once proofs cross a socket the
+// decoder is a trust boundary, so every claimed dimension is checked
+// against the bytes actually present before anything is allocated.
+var ErrMalformedProof = errors.New("core: malformed proof")
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 //
@@ -68,7 +76,7 @@ func (p *Proof) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
 	var magic [4]byte
 	if _, err := r.Read(magic[:]); err != nil || magic != proofMagic {
-		return fmt.Errorf("core: not a Camelot proof (bad magic/version)")
+		return fmt.Errorf("%w: bad magic/version", ErrMalformedProof)
 	}
 	var rdErr error
 	rd := func() uint64 {
@@ -85,8 +93,15 @@ func (p *Proof) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: truncated proof header: %w", rdErr)
 	}
 	const sane = 1 << 28
-	if degree > sane || width > 1<<16 || nPoints > sane || uint64(len(data)) < nPoints {
-		return fmt.Errorf("core: implausible proof geometry d=%d w=%d e=%d", degree, width, nPoints)
+	if degree > sane || width > 1<<16 || nPoints > sane {
+		return fmt.Errorf("%w: implausible geometry d=%d w=%d e=%d", ErrMalformedProof, degree, width, nPoints)
+	}
+	// Check every claimed dimension against the bytes actually present
+	// before allocating: a 40-byte payload must never be able to demand
+	// gigabytes. The geometry bounds above keep these products far
+	// below uint64 overflow.
+	if nPoints*8 > uint64(r.Len()) {
+		return fmt.Errorf("%w: %d points claimed, %d bytes available", ErrMalformedProof, nPoints, r.Len())
 	}
 	p.Degree = int(degree)
 	p.Width = int(width)
@@ -99,13 +114,25 @@ func (p *Proof) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("core: truncated proof points: %w", rdErr)
 	}
 	if nPrimes > 64 {
-		return fmt.Errorf("core: implausible prime count %d", nPrimes)
+		return fmt.Errorf("%w: implausible prime count %d", ErrMalformedProof, nPrimes)
+	}
+	// Per prime: the prime itself plus width coefficient vectors of
+	// degree+1 words and width evaluation vectors of nPoints words.
+	wordsPerPrime := 1 + width*(degree+1) + width*nPoints
+	if need := nPrimes * wordsPerPrime * 8; need > uint64(r.Len()) {
+		return fmt.Errorf("%w: body claims %d bytes, %d available", ErrMalformedProof, need, r.Len())
 	}
 	p.Primes = make([]uint64, 0, nPrimes)
 	p.Coeffs = make(map[uint64][][]uint64, nPrimes)
 	p.Evals = make(map[uint64][][]uint64, nPrimes)
 	for pi := uint64(0); pi < nPrimes; pi++ {
 		q := rd()
+		if _, dup := p.Coeffs[q]; dup {
+			// A repeated modulus would overwrite Coeffs[q]/Evals[q]
+			// while Primes kept both entries — an internally
+			// inconsistent proof no honest marshaller produces.
+			return fmt.Errorf("%w: duplicate prime %d", ErrMalformedProof, q)
+		}
 		coeffs := make([][]uint64, p.Width)
 		for c := range coeffs {
 			coeffs[c] = make([]uint64, p.Degree+1)

@@ -1,0 +1,116 @@
+package core
+
+// Adversarial tests for the proof decoder: once proofs cross a socket,
+// UnmarshalBinary is a trust boundary. These pin the two hardening
+// fixes — duplicate primes are rejected instead of silently
+// overwriting map entries, and claimed geometry is checked against the
+// bytes actually present before anything is allocated. (Round-trip
+// coverage of honest proofs lives in core_test.go.)
+
+import (
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// tinyProof builds a consistent in-memory proof for mutation.
+func tinyProof(primes ...uint64) *Proof {
+	p := &Proof{
+		Primes: primes,
+		Degree: 2,
+		Width:  1,
+		Points: []uint64{0, 1, 2, 3},
+		Coeffs: map[uint64][][]uint64{},
+		Evals:  map[uint64][][]uint64{},
+	}
+	for _, q := range primes {
+		p.Coeffs[q] = [][]uint64{{1, 2, 3}}
+		p.Evals[q] = [][]uint64{{4, 5, 6, 7}}
+	}
+	return p
+}
+
+func TestUnmarshalRejectsDuplicatePrimes(t *testing.T) {
+	// A Primes slice listing the same modulus twice marshals cleanly
+	// (both entries resolve to the one map entry) — exactly the
+	// payload shape a forger would mail: Primes says two, the maps
+	// hold one.
+	dup := tinyProof(97, 97)
+	data, err := dup.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Proof
+	err = back.UnmarshalBinary(data)
+	if !errors.Is(err, ErrMalformedProof) {
+		t.Fatalf("duplicate primes: err = %v, want ErrMalformedProof", err)
+	}
+	// The honest two-prime proof still round-trips.
+	honest := tinyProof(97, 101)
+	data, err = honest.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+}
+
+// proofHeader hand-assembles a proof payload header making arbitrary
+// geometry claims.
+func proofHeader(degree, width, nPoints uint64, rest ...uint64) []byte {
+	buf := append([]byte{}, proofMagic[:]...)
+	for _, v := range []uint64{degree, width, nPoints} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	for _, v := range rest {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+// TestUnmarshalBoundsAllocationsAgainstPayload mails headers whose
+// claims would demand gigabytes: the decoder must reject them on the
+// byte budget before allocating anything claim-sized.
+func TestUnmarshalBoundsAllocationsAgainstPayload(t *testing.T) {
+	cases := map[string][]byte{
+		// 2^28 points claimed, zero bytes behind them.
+		"unbacked points": proofHeader(4, 2, 1<<28),
+		// Small point set but one prime claiming width×(degree+1) ≈
+		// 2^44 words — the shape that used to allocate before reading.
+		"unbacked body": proofHeader(1<<28, 1<<16, 2, 0, 0, 1, 12345),
+		// 64 primes of a plausible-but-unbacked size.
+		"many primes": proofHeader(1<<20, 8, 2, 0, 0, 64, 12345),
+	}
+	for name, data := range cases {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var p Proof
+		err := p.UnmarshalBinary(data)
+		runtime.ReadMemStats(&after)
+		if !errors.Is(err, ErrMalformedProof) {
+			t.Fatalf("%s: err = %v, want ErrMalformedProof", name, err)
+		}
+		// The claims above are all ≥ 2 GiB; the reject path must stay
+		// orders of magnitude below.
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+			t.Fatalf("%s: decoder allocated %d bytes rejecting a tiny payload", name, grew)
+		}
+	}
+}
+
+func TestUnmarshalRejectionsAreTyped(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("XXXX rest doesn't matter"),
+		"huge degree": proofHeader(1<<60, 1, 1),
+	}
+	for name, data := range cases {
+		var p Proof
+		if err := p.UnmarshalBinary(data); !errors.Is(err, ErrMalformedProof) {
+			t.Fatalf("%s: err = %v, want ErrMalformedProof", name, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -306,6 +307,15 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 			}
 			return nil
 		})
+		if err == nil {
+			// A transport may still hold accepted deliveries in flight
+			// (injected delays): conclude them before announcing
+			// SendsDone, and surface an asynchronous delivery failure
+			// exactly as a Send returning it would have.
+			if d, ok := tr.(SendDrainer); ok {
+				err = d.DrainSends(sendCtx)
+			}
+		}
 		if err != nil {
 			cancelGather()
 		}
@@ -338,9 +348,49 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 	if gatherErr != nil {
 		return nil, gatherErr
 	}
+	if quorumMode {
+		// A node that reports an in-band failure contributed no shares,
+		// which is exactly the delivery-fault axis a quorum run absorbs:
+		// drop its report and let its coordinates erase within budget
+		// (a duplicate delivery carrying real shares still wins). This
+		// also keeps a forged error frame from an untrusted network peer
+		// from failing the run — in strict mode it still does, loudly,
+		// via collectShares.
+		kept := msgs[:0]
+		for _, m := range msgs {
+			if m.Err != nil && m.ID >= 0 && m.ID < en.k {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		msgs = kept
+	}
 	delivered, missing, err := collectShares(msgs, en.k)
 	if err != nil {
 		return nil, err
+	}
+	// Shape guard: a message that crossed an untrusted transport (TCP)
+	// may claim any geometry the codec's generic bounds allow, and the
+	// decoders index shares by the run's. A malformed message must
+	// never panic a decoder — it becomes its sender's delivery fault
+	// where the run tolerates those, and a typed refusal where it
+	// does not.
+	valid := delivered[:0]
+	var malformed []int
+	for _, m := range delivered {
+		if en.shareShapeOK(m) {
+			valid = append(valid, m)
+		} else {
+			malformed = append(malformed, m.ID)
+		}
+	}
+	if len(malformed) > 0 {
+		if !quorumMode {
+			return nil, fmt.Errorf("transport delivered malformed shares from node %d; tolerate delivery faults with MaxErasures", malformed[0])
+		}
+		delivered = valid
+		missing = append(missing, malformed...)
+		sort.Ints(missing)
 	}
 	if len(missing) > 0 && !quorumMode {
 		if len(msgs) > len(delivered) {
@@ -362,6 +412,27 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 	}
 	en.report.ComputeWall = time.Since(computeStart)
 	return &prepared{shares: delivered, missing: missing}, nil
+}
+
+// shareShapeOK reports whether a delivered message's claimed geometry
+// matches what this run assigned its sender — the precondition every
+// decoder's indexing relies on.
+func (en *engine) shareShapeOK(m NodeShares) bool {
+	lo, hi := en.assign.Range(m.ID)
+	if m.Lo != lo || m.Hi != hi || len(m.Vals) != len(en.primes) {
+		return false
+	}
+	for _, coords := range m.Vals {
+		if len(coords) != en.w {
+			return false
+		}
+		for _, vals := range coords {
+			if len(vals) != hi-lo {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // erasedPoints expands missing node ids into the evaluation-point

@@ -17,6 +17,7 @@ package core
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -51,6 +52,15 @@ type LossyTransport struct {
 	inner Transport
 	cfg   LossyConfig
 	drop  map[int]bool
+	// wg tracks in-flight delayed deliveries, which run on their own
+	// goroutines so the injected latency holds the *message*, not the
+	// sending worker's pool slot. DrainSends waits on it and surfaces
+	// the first delivery failure (errOnce/sendErr), so an asynchronous
+	// send cannot silently lose the error a blocking one would have
+	// returned.
+	wg      sync.WaitGroup
+	errOnce sync.Once
+	sendErr error
 }
 
 var (
@@ -102,20 +112,44 @@ func (t *LossyTransport) fate(id int) (drop bool, copies int, delay time.Duratio
 
 // Send implements Transport: the message meets its fate on the way to
 // the inner transport. A drop consumes the message silently — from the
-// sender's point of view the broadcast succeeded.
+// sender's point of view the broadcast succeeded. A delayed message is
+// handed to a delivery goroutine and Send returns immediately: the
+// injected latency models the *network* holding the message, so it
+// must not serialize the sending workers or skew compute-time
+// readings. The delivery goroutine honors the Send context — the
+// engine cancels it once the gather has returned, so a still-pending
+// delayed copy is abandoned with the rest of the run's stragglers.
+// Fate (drop/copies/delay) stays a pure function of (Seed, sender id).
 func (t *LossyTransport) Send(ctx context.Context, m NodeShares) error {
 	drop, copies, delay := t.fate(m.ID)
 	if drop {
 		return nil
 	}
 	if delay > 0 {
-		timer := time.NewTimer(delay)
-		defer timer.Stop()
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			return ctx.Err()
-		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return
+			}
+			for i := 0; i < copies; i++ {
+				if err := t.inner.Send(ctx, m); err != nil {
+					// Abandonment via cancellation is the run winding
+					// down; anything else is a delivery failure the
+					// blocking path would have returned — keep it for
+					// DrainSends.
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+						t.errOnce.Do(func() { t.sendErr = err })
+					}
+					return
+				}
+			}
+		}()
+		return nil
 	}
 	for i := 0; i < copies; i++ {
 		if err := t.inner.Send(ctx, m); err != nil {
@@ -123,6 +157,30 @@ func (t *LossyTransport) Send(ctx context.Context, m NodeShares) error {
 		}
 	}
 	return nil
+}
+
+// DrainSends implements SendDrainer: it blocks until every delayed
+// delivery handed off by Send has finished or been abandoned (the
+// goroutines honor their Send context, so this terminates once the
+// engine cancels sending) and returns the first delivery failure. The
+// engine calls it after the last Send returns and before announcing
+// SendsDone, which both restores the blocking path's error propagation
+// and keeps the "no further Send can occur" signal truthful.
+func (t *LossyTransport) DrainSends(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	// The delivery goroutines honor their own Send contexts, but a
+	// user-supplied inner transport might not be prompt about it — the
+	// drain must still be interruptible by the engine's context.
+	select {
+	case <-done:
+		return t.sendErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Gather implements Transport by delegation. With drops configured, a

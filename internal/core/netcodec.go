@@ -1,0 +1,250 @@
+package core
+
+// Binary serialization for NodeShares — the wire format that lets the
+// prepare stage's one message kind cross a real socket. The design
+// mirrors the proof format in encode.go: versioned magic, little-endian
+// words, self-describing geometry. Unlike a proof, a share message is
+// ephemeral and arrives from an untrusted network, so the decoder
+// validates every claimed dimension against the bytes actually present
+// *before* allocating — a malicious or corrupted frame must cost the
+// collector an error, never gigabytes.
+//
+// Payload layout (every integer a little-endian uint64):
+//
+//	magic 'C' 'M' 'S' 1
+//	id | lo | hi | elapsedNS
+//	errLen | errLen bytes of in-band error text
+//	nPrimes | width
+//	nPrimes × width × (hi-lo) evaluation words, [prime][coord][point]
+//
+// On the stream the payload travels length-prefixed (see writeFrame /
+// readFrame): a uint32 little-endian byte count, then the payload. The
+// prefix is what lets a reader recover message boundaries from a TCP
+// byte stream; it carries no other meaning.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// sharesMagic guards against decoding unrelated bytes; the trailing
+// byte is the format version.
+var sharesMagic = [4]byte{'C', 'M', 'S', 1}
+
+// ErrBadFrame is the typed rejection of a malformed NodeShares frame:
+// wrong magic, implausible geometry, a size claim the received bytes
+// cannot back, or an oversized length prefix. A reader that hits it
+// must drop the connection — past a bad frame the stream cannot be
+// trusted to be in sync.
+var ErrBadFrame = errors.New("core: malformed NodeShares frame")
+
+// RemoteError is a node-side evaluation failure reconstructed from its
+// in-band wire form. Only the message survives the socket, not the
+// original error type.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Codec sanity bounds, matching the proof decoder's: a frame claiming
+// more is rejected before any allocation.
+const (
+	maxCodecPrimes = 64
+	maxCodecWidth  = 1 << 16
+	maxCodecSpan   = 1 << 28 // points per node
+	maxCodecErrLen = 1 << 16
+)
+
+// EncodeNodeShares serializes m into a fresh payload buffer (without
+// the stream length prefix; writeFrame adds it).
+func EncodeNodeShares(m NodeShares) ([]byte, error) {
+	span := m.Hi - m.Lo
+	if span < 0 || span > maxCodecSpan {
+		return nil, fmt.Errorf("core: encode shares node %d: bad range [%d,%d)", m.ID, m.Lo, m.Hi)
+	}
+	var errText string
+	if m.Err != nil {
+		errText = m.Err.Error()
+		if len(errText) > maxCodecErrLen {
+			errText = errText[:maxCodecErrLen]
+		}
+	}
+	nPrimes := len(m.Vals)
+	if nPrimes > maxCodecPrimes {
+		return nil, fmt.Errorf("core: encode shares node %d: %d primes exceeds %d", m.ID, nPrimes, maxCodecPrimes)
+	}
+	width := 0
+	if nPrimes > 0 {
+		width = len(m.Vals[0])
+	}
+	if width > maxCodecWidth {
+		return nil, fmt.Errorf("core: encode shares node %d: width %d exceeds %d", m.ID, width, maxCodecWidth)
+	}
+	for pi, coords := range m.Vals {
+		if len(coords) != width {
+			return nil, fmt.Errorf("core: encode shares node %d: prime %d has %d coords, want %d", m.ID, pi, len(coords), width)
+		}
+		for c, vals := range coords {
+			if len(vals) != span {
+				return nil, fmt.Errorf("core: encode shares node %d: prime %d coord %d has %d points, want %d", m.ID, pi, c, len(vals), span)
+			}
+		}
+	}
+	// 7 header words: id, lo, hi, elapsed, errLen, nPrimes, width.
+	size := len(sharesMagic) + 8*7 + len(errText) + 8*nPrimes*width*span
+	buf := make([]byte, 0, size)
+	buf = append(buf, sharesMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.ID)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Lo)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Hi)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Elapsed)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(errText)))
+	buf = append(buf, errText...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nPrimes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(width))
+	for _, coords := range m.Vals {
+		for _, vals := range coords {
+			for _, v := range vals {
+				buf = binary.LittleEndian.AppendUint64(buf, v)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// DecodeNodeShares parses one payload produced by EncodeNodeShares.
+// Every failure wraps ErrBadFrame, and no allocation larger than the
+// payload itself ever happens: each claimed dimension is checked
+// against the remaining bytes first.
+func DecodeNodeShares(data []byte) (NodeShares, error) {
+	var m NodeShares
+	rest := data
+	if len(rest) < len(sharesMagic) || [4]byte(rest[:4]) != sharesMagic {
+		return m, fmt.Errorf("%w: bad magic/version", ErrBadFrame)
+	}
+	rest = rest[4:]
+	word := func() (uint64, bool) {
+		if len(rest) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+		return v, true
+	}
+	var hdr [5]uint64 // id, lo, hi, elapsed, errLen
+	for i := range hdr {
+		v, ok := word()
+		if !ok {
+			return m, fmt.Errorf("%w: truncated header", ErrBadFrame)
+		}
+		hdr[i] = v
+	}
+	id, lo, hi := int64(hdr[0]), int64(hdr[1]), int64(hdr[2])
+	span := hi - lo
+	// id stays strictly below 1<<31 so the int conversion is exact
+	// even on 32-bit platforms; honest senders are 0..K-1.
+	if id < 0 || id >= 1<<31 || lo < 0 || hi < lo || span > maxCodecSpan {
+		return m, fmt.Errorf("%w: implausible geometry id=%d range=[%d,%d)", ErrBadFrame, id, lo, hi)
+	}
+	errLen := hdr[4]
+	if errLen > maxCodecErrLen || errLen > uint64(len(rest)) {
+		return m, fmt.Errorf("%w: error text claims %d bytes, %d available", ErrBadFrame, errLen, len(rest))
+	}
+	var errText string
+	if errLen > 0 {
+		errText = string(rest[:errLen])
+		rest = rest[errLen:]
+	}
+	nPrimes, ok := word()
+	if !ok {
+		return m, fmt.Errorf("%w: truncated prime count", ErrBadFrame)
+	}
+	width, ok := word()
+	if !ok {
+		return m, fmt.Errorf("%w: truncated width", ErrBadFrame)
+	}
+	if nPrimes > maxCodecPrimes || width > maxCodecWidth {
+		return m, fmt.Errorf("%w: implausible shape primes=%d width=%d", ErrBadFrame, nPrimes, width)
+	}
+	if nPrimes == 0 && width != 0 {
+		// With no primes there is nothing to be wide: the encoder
+		// always writes width 0 here, so anything else is not a frame
+		// it produced (keeping decode∘encode canonical).
+		return m, fmt.Errorf("%w: width %d with no primes", ErrBadFrame, width)
+	}
+	// The whole body must be present, exactly: a short frame is
+	// corruption, a long one a framing bug. Checking before allocating
+	// bounds the decoder's memory by the bytes actually received.
+	// (Bounds above keep this product far below overflow.)
+	need := nPrimes * width * uint64(span) * 8
+	if need != uint64(len(rest)) {
+		return m, fmt.Errorf("%w: body claims %d bytes, frame carries %d", ErrBadFrame, need, len(rest))
+	}
+	m.ID = int(id)
+	m.Lo = int(lo)
+	m.Hi = int(hi)
+	m.Elapsed = time.Duration(int64(hdr[3]))
+	if errLen > 0 {
+		m.Err = &RemoteError{Msg: errText}
+	}
+	m.Vals = make([][][]uint64, nPrimes)
+	for pi := range m.Vals {
+		coords := make([][]uint64, width)
+		for c := range coords {
+			vals := make([]uint64, span)
+			for j := range vals {
+				vals[j] = binary.LittleEndian.Uint64(rest)
+				rest = rest[8:]
+			}
+			coords[c] = vals
+		}
+		m.Vals[pi] = coords
+	}
+	return m, nil
+}
+
+// writeFrame writes one length-prefixed payload to the stream.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrameBytesHardCap {
+		return fmt.Errorf("core: frame payload %d bytes exceeds hard cap", len(payload))
+	}
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(payload)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// maxFrameBytesHardCap bounds any frame regardless of configuration —
+// a backstop against a misconfigured or hostile peer.
+const maxFrameBytesHardCap = 1 << 30
+
+// readFrame reads one length-prefixed payload, rejecting claims above
+// maxBytes with ErrBadFrame before allocating. io.EOF before the first
+// prefix byte is a clean end of stream; a partial frame surfaces as
+// io.ErrUnexpectedEOF (the connection died, not a protocol violation).
+func readFrame(r io.Reader, maxBytes int) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if maxBytes <= 0 || maxBytes > maxFrameBytesHardCap {
+		maxBytes = maxFrameBytesHardCap
+	}
+	if n > uint32(maxBytes) {
+		return nil, fmt.Errorf("%w: length prefix claims %d bytes, cap %d", ErrBadFrame, n, maxBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

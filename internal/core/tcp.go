@@ -1,0 +1,419 @@
+package core
+
+// TCPTransport carries NodeShares over real sockets — the ROADMAP's
+// networked transport, behind the same Transport seam every in-memory
+// implementation satisfies. One instance plays both roles of a
+// loopback cluster: the collector side binds a listener at
+// construction (so senders can connect before the gather starts),
+// accepts connections, and feeds decoded frames into the shared
+// quorum-gather loop; the sender side dials the collector per message
+// with bounded retry and backoff. A send-only instance (no listen
+// address) is the shape a remote compute process would use.
+//
+// Failure philosophy: a socket can lose, truncate, or corrupt frames,
+// so the TCP path changes no engine semantics — a message that never
+// decodes simply never arrives, the collector reports the sender
+// missing, and the decode stage erases its coordinates under the
+// MaxErasures/GatherGrace budget exactly as for any other delivery
+// fault. Malformed frames are counted (BadFrames) and cost the peer
+// its connection, never an allocation beyond the bytes received.
+// LossyTransport composes on top for loopback chaos testing.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrNotCollector is returned when Gather is called on a send-only
+// TCPTransport (one constructed without a listen address).
+var ErrNotCollector = errors.New("core: tcp transport is send-only (no listen address)")
+
+// TCPConfig parameterizes a TCPTransport. The zero value of every
+// field has a usable default except the addresses: at least one of
+// Addr and ListenAddr must be set.
+type TCPConfig struct {
+	// Addr is the address senders dial to reach the collector. Empty
+	// with a non-empty ListenAddr means "dial whatever the listener
+	// bound" — the loopback case, which supports ephemeral ":0" ports.
+	Addr string
+	// ListenAddr, when non-empty, makes this instance the run's
+	// collector: the listener binds at construction. Empty means
+	// send-only — a Gather on such an instance fails with
+	// ErrNotCollector. (The facade's WithTCPTransport option defaults
+	// the bind address to the dial address; this constructor does
+	// not, because send-only is exactly Addr-without-ListenAddr.)
+	ListenAddr string
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// RetryBackoff is the initial gap between dial attempts, doubling
+	// per retry (default 50ms) — a sender may come up before its
+	// collector does.
+	RetryBackoff time.Duration
+	// DialRetries is the number of redials after a failed first
+	// attempt (default 4; negative disables retrying).
+	DialRetries int
+	// MaxFrameBytes caps the payload size a reader accepts (default
+	// 64 MiB; hard cap 1 GiB). Frames claiming more are rejected
+	// before any allocation and cost the peer its connection.
+	MaxFrameBytes int
+}
+
+func (cfg TCPConfig) withDefaults() TCPConfig {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.DialRetries == 0 {
+		cfg.DialRetries = 4
+	}
+	if cfg.DialRetries < 0 {
+		cfg.DialRetries = 0
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = 64 << 20
+	}
+	if cfg.MaxFrameBytes > maxFrameBytesHardCap {
+		cfg.MaxFrameBytes = maxFrameBytesHardCap
+	}
+	return cfg
+}
+
+// TCPTransport is a Transport whose messages travel length-prefixed
+// binary frames over TCP. Safe for concurrent Send calls;
+// Gather/GatherQuorum must be called from a single collector goroutine
+// (the engine's), and returning from either shuts the transport down:
+// the listener closes, reader connections close, and any straggler's
+// Send completes as a no-op — the run no longer wants the message.
+type TCPTransport struct {
+	cfg TCPConfig
+	k   int
+	ln  net.Listener
+	ch  chan NodeShares
+
+	done      chan struct{}
+	stop      sync.Once
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]bool
+	badFrames atomic.Int64
+}
+
+var (
+	_ Transport      = (*TCPTransport)(nil)
+	_ QuorumGatherer = (*TCPTransport)(nil)
+)
+
+// NewTCPTransport builds a transport for a run of k nodes. With a
+// listen address it binds immediately (retrying briefly on "address in
+// use", so back-to-back runs can share one fixed port) and starts
+// accepting; construction failure means the collector cannot exist and
+// is returned as an error.
+func NewTCPTransport(k int, cfg TCPConfig) (*TCPTransport, error) {
+	if k < 1 {
+		k = 1
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Addr == "" && cfg.ListenAddr == "" {
+		return nil, errors.New("core: tcp transport needs an Addr or ListenAddr")
+	}
+	t := &TCPTransport{
+		cfg: cfg,
+		k:   k,
+		// Headroom for duplicated deliveries, mirroring the sharded
+		// transport: a lossy wrapper must never wedge a reader.
+		ch:    make(chan NodeShares, 2*k+2),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]bool),
+	}
+	if cfg.ListenAddr != "" {
+		ln, err := listenWithRetry(cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("core: tcp listen %s: %w", cfg.ListenAddr, err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// listenWithRetry binds addr, retrying briefly when the previous run's
+// listener on a fixed port is still tearing down. Concurrent runs on
+// one fixed port still conflict — use ":0" (or per-run addresses) when
+// runs overlap.
+func listenWithRetry(addr string) (net.Listener, error) {
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		// errors.Is catches the errno portably; the string match is a
+		// fallback for wrapped errors that lose it.
+		if !errors.Is(err, syscall.EADDRINUSE) && !strings.Contains(err.Error(), "address already in use") {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// Addr returns the address senders should dial. A loopback instance —
+// one whose dial address is unset or identical to its listen address —
+// dials what the listener actually bound, which is what makes
+// ephemeral ":0" ports work; a split configuration (bind behind NAT,
+// dial a public name) keeps the configured dial address.
+func (t *TCPTransport) Addr() string {
+	if t.ln != nil && (t.cfg.Addr == "" || t.cfg.Addr == t.cfg.ListenAddr) {
+		return t.ln.Addr().String()
+	}
+	return t.cfg.Addr
+}
+
+// BadFrames reports how many connections were dropped for malformed
+// frames — wrong magic, implausible geometry, oversized or short body.
+func (t *TCPTransport) BadFrames() int64 { return t.badFrames.Load() }
+
+// acceptLoop hands each inbound connection to its own reader
+// goroutine; it ends when shutdown closes the listener.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		select {
+		case <-t.done:
+			// Shutdown already swept the conns map; a connection
+			// registered now would never be closed and its reader
+			// would hang Close() forever. Turn it away instead.
+			t.mu.Unlock()
+			conn.Close()
+			continue
+		default:
+		}
+		t.conns[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readConn(conn)
+	}
+}
+
+// readConn decodes frames off one connection into the collector
+// channel until the stream ends, the transport shuts down, or a
+// malformed frame makes the stream untrustworthy.
+func (t *TCPTransport) readConn(conn net.Conn) {
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+		t.wg.Done()
+	}()
+	for {
+		payload, err := readFrame(conn, t.cfg.MaxFrameBytes)
+		if err != nil {
+			// A clean EOF or a died connection is a delivery fault the
+			// quorum gather absorbs; only protocol violations count as
+			// bad frames. Either way the connection is done — past a
+			// framing error the stream cannot be resynchronized.
+			if errors.Is(err, ErrBadFrame) {
+				t.badFrames.Add(1)
+			}
+			return
+		}
+		m, err := DecodeNodeShares(payload)
+		if err != nil {
+			t.badFrames.Add(1)
+			return
+		}
+		if m.ID < 0 || m.ID >= t.k {
+			// A sender this run never had: feeding it through would
+			// fail the whole gather as a protocol violation, but over
+			// a socket it is just a hostile or misrouted peer — cost
+			// it the connection, not the run. (The engine additionally
+			// validates each claimed shape against the run geometry.)
+			t.badFrames.Add(1)
+			return
+		}
+		select {
+		case t.ch <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Send implements Transport: encode, dial the collector (retrying with
+// backoff — it may not be up yet), write one frame, close. Cancelling
+// ctx aborts a blocked dial or write; after the gather has returned,
+// Send completes as a no-op.
+func (t *TCPTransport) Send(ctx context.Context, m NodeShares) error {
+	payload, err := EncodeNodeShares(m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > t.cfg.MaxFrameBytes {
+		// The receiver enforces the same cap, so a larger frame would
+		// be "sent" successfully and silently dropped on arrival —
+		// fail here with the real cause instead.
+		return fmt.Errorf("core: tcp send from node %d: frame is %d bytes, cap %d (raise TCPConfig.MaxFrameBytes)",
+			m.ID, len(payload), t.cfg.MaxFrameBytes)
+	}
+	backoff := t.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= t.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-t.done:
+				timer.Stop()
+				return nil
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		select {
+		case <-t.done:
+			return nil
+		default:
+		}
+		err := t.sendOnce(ctx, payload)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("core: tcp send from node %d to %s failed after %d attempts: %w",
+		m.ID, t.Addr(), t.cfg.DialRetries+1, lastErr)
+}
+
+// sendOnce is one dial+write attempt. A per-connection watchdog
+// goroutine forces the deadline when the run is cancelled or the
+// transport shuts down, so a write blocked on a dead collector cannot
+// outlive either.
+func (t *TCPTransport) sendOnce(ctx context.Context, payload []byte) error {
+	d := net.Dialer{Timeout: t.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", t.Addr())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Now())
+		case <-t.done:
+			conn.SetDeadline(time.Now())
+		case <-stop:
+		}
+	}()
+	return writeFrame(conn, payload)
+}
+
+// Gather implements Transport (strict: counts raw messages); see
+// TCPTransport's doc for the shutdown-on-return contract.
+func (t *TCPTransport) Gather(ctx context.Context, k int) ([]NodeShares, error) {
+	if t.ln == nil {
+		return nil, ErrNotCollector
+	}
+	defer t.shutdown()
+	out := make([]NodeShares, 0, k)
+	for len(out) < k {
+		select {
+		case m := <-t.ch:
+			out = append(out, m)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// GatherQuorum implements QuorumGatherer over the collector channel —
+// the same loop every in-memory transport uses, so MaxErasures and
+// GatherGrace behave identically over a socket.
+func (t *TCPTransport) GatherQuorum(ctx context.Context, spec GatherSpec) ([]NodeShares, error) {
+	if t.ln == nil {
+		return nil, ErrNotCollector
+	}
+	defer t.shutdown()
+	return gatherQuorum(ctx, t.ch, spec)
+}
+
+// shutdown ends the transport's world: listener closed, reader
+// connections closed, stragglers' Send released as no-ops. Idempotent.
+func (t *TCPTransport) shutdown() {
+	t.stop.Do(func() {
+		close(t.done)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		t.mu.Lock()
+		for conn := range t.conns {
+			conn.Close()
+		}
+		t.mu.Unlock()
+	})
+}
+
+// Close shuts the transport down and waits for the accept and reader
+// goroutines to exit — for callers that never reach a gather (tests,
+// aborted runs). Gather paths shut down implicitly on return.
+func (t *TCPTransport) Close() {
+	t.shutdown()
+	t.wg.Wait()
+}
+
+// NewTCPFactory adapts NewTCPTransport to the TransportFactory shape.
+// A factory cannot return an error, so a failed construction (bad
+// address, bind failure) yields a transport whose every method reports
+// it — the run fails with the root cause on first use.
+func NewTCPFactory(cfg TCPConfig) TransportFactory {
+	return func(k int) Transport {
+		t, err := NewTCPTransport(k, cfg)
+		if err != nil {
+			return FailedTransport(err)
+		}
+		return t
+	}
+}
+
+// FailedTransport returns a Transport (and QuorumGatherer) whose every
+// method fails with err — the factory-shaped surface for construction
+// failures.
+func FailedTransport(err error) Transport { return failedTransport{err} }
+
+type failedTransport struct{ err error }
+
+func (t failedTransport) Send(context.Context, NodeShares) error { return t.err }
+func (t failedTransport) Gather(context.Context, int) ([]NodeShares, error) {
+	return nil, t.err
+}
+func (t failedTransport) GatherQuorum(context.Context, GatherSpec) ([]NodeShares, error) {
+	return nil, t.err
+}

@@ -1,0 +1,303 @@
+package core
+
+// TCPTransport tests: full engine runs over loopback sockets (strict
+// and quorum gathers, bare and lossy-wrapped), the dial-retry path, the
+// malformed-frame trust boundary, and shutdown/cancellation hygiene.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpLoopback builds an ephemeral loopback collector transport.
+func tcpLoopback(t testing.TB, k int) *TCPTransport {
+	t.Helper()
+	tr, err := NewTCPTransport(k, TCPConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("tcp transport: %v", err)
+	}
+	return tr
+}
+
+// TestTCPRunMatchesBus is the acceptance gate: the same seed and
+// problem over loopback TCP must produce a proof bit-identical to the
+// in-memory bus run — the transport cannot touch the mathematics.
+func TestTCPRunMatchesBus(t *testing.T) {
+	ctx := context.Background()
+	p := testProblem()
+	busProof, _, err := Run(ctx, p, Options{Nodes: 6, FaultTolerance: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpProof, rep, err := Run(ctx, p, Options{
+		Nodes: 6, FaultTolerance: 3, Seed: 9,
+		NewTransport: func(k int) Transport { return tcpLoopback(t, k) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("tcp run not verified")
+	}
+	if err := proofsEqual(busProof, tcpProof); err != nil {
+		t.Fatalf("tcp proof differs from bus proof: %v", err)
+	}
+}
+
+// TestTCPQuorumWithLoss drives the erasure path over real sockets: a
+// lossy wrapper drops two nodes' frames off the socket and the quorum
+// gather plus erasure decode must still recover the identical proof.
+func TestTCPQuorumWithLoss(t *testing.T) {
+	ctx := context.Background()
+	p := testProblem()
+	baseline, _, err := Run(ctx, p, Options{Nodes: 8, FaultTolerance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, rep, err := Run(ctx, p, Options{
+		Nodes: 8, FaultTolerance: 4, MaxErasures: 2, GatherGrace: 2 * time.Second,
+		NewTransport: func(k int) Transport {
+			return NewLossyTransport(tcpLoopback(t, k), LossyConfig{DropNodes: []int{2, 5}})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInts(rep.MissingNodes, []int{2, 5}) {
+		t.Fatalf("MissingNodes = %v, want [2 5]", rep.MissingNodes)
+	}
+	if err := proofsEqual(baseline, proof); err != nil {
+		t.Fatalf("lossy tcp proof differs: %v", err)
+	}
+}
+
+// TestTCPSendRetriesUntilCollectorUp reserves an address, starts a
+// send-only transport dialing it, and only then brings the collector
+// up: the dial-retry loop must bridge the gap.
+func TestTCPSendRetriesUntilCollectorUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	sender, err := NewTCPTransport(1, TCPConfig{Addr: addr, RetryBackoff: 25 * time.Millisecond, DialRetries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectorUp := make(chan *TCPTransport, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		c, err := NewTCPTransport(1, TCPConfig{ListenAddr: addr})
+		if err != nil {
+			collectorUp <- nil
+			return
+		}
+		collectorUp <- c
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sender.Send(ctx, NodeShares{ID: 0, Lo: 0, Hi: 1, Vals: [][][]uint64{{{42}}}}); err != nil {
+		t.Fatalf("send with late collector: %v", err)
+	}
+	collector := <-collectorUp
+	if collector == nil {
+		t.Fatal("collector failed to bind the reserved address")
+	}
+	defer collector.Close()
+	msgs, err := collector.Gather(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].ID != 0 || msgs[0].Vals[0][0][0] != 42 {
+		t.Fatalf("gathered %+v", msgs)
+	}
+}
+
+// TestTCPSendFailsTyped pins the giving-up path: nothing ever listens,
+// so Send must return the dial failure after its bounded retries
+// rather than hang.
+func TestTCPSendFailsTyped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	sender, err := NewTCPTransport(1, TCPConfig{Addr: addr, RetryBackoff: 5 * time.Millisecond, DialRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sender.Send(context.Background(), NodeShares{ID: 0, Lo: 0, Hi: 0})
+	if err == nil {
+		t.Fatal("send to dead address succeeded")
+	}
+}
+
+// TestTCPMalformedFramesCostTheConnection writes garbage and an
+// oversized length claim straight onto raw connections: the collector
+// must count them, drop those connections, and still gather the honest
+// sender's message.
+func TestTCPMalformedFramesCostTheConnection(t *testing.T) {
+	tr := tcpLoopback(t, 2)
+	defer tr.Close()
+	addr := tr.Addr()
+
+	// Connection 1: a frame whose payload is garbage.
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(c1, []byte("not a NodeShares payload")); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	// Connection 2: a length prefix claiming far beyond the cap; the
+	// reader must reject on the claim, never allocate it.
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Write([]byte{0xFF, 0xFF, 0xFF, 0x3F}); err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// Both rejections must land before the gather returns and shuts
+	// the readers down; they record asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.BadFrames() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := tr.BadFrames(); got != 2 {
+		t.Fatalf("BadFrames = %d, want 2", got)
+	}
+
+	// The honest sender still gets through on its own connection.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tr.Send(ctx, NodeShares{ID: 1, Lo: 0, Hi: 1, Vals: [][][]uint64{{{7}}}}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := tr.GatherQuorum(ctx, GatherSpec{K: 2, Quorum: 1, Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, missing, err := collectShares(msgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 1 || delivered[0].ID != 1 || !sameInts(missing, []int{0}) {
+		t.Fatalf("delivered %+v missing %v", delivered, missing)
+	}
+}
+
+// TestTCPInBandError carries a node-side failure over the socket: the
+// collector must surface it exactly as an in-memory transport would.
+func TestTCPInBandError(t *testing.T) {
+	tr := tcpLoopback(t, 1)
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	want := errors.New("node 0: the grail was a lie")
+	if err := tr.Send(ctx, NodeShares{ID: 0, Lo: 0, Hi: 0, Err: want}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := tr.Gather(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := collectShares(msgs, 1); err == nil || err.Error() != want.Error() {
+		t.Fatalf("in-band error = %v, want %q", err, want)
+	}
+}
+
+// TestTCPGatherCancellation: a gather with no senders must end with
+// the context, and the transport must shut down cleanly after.
+func TestTCPGatherCancellation(t *testing.T) {
+	tr := tcpLoopback(t, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := tr.Gather(ctx, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	tr.Close() // must not hang or double-close anything
+	// After shutdown a straggler's Send completes as a no-op.
+	if err := tr.Send(context.Background(), NodeShares{ID: 0, Lo: 0, Hi: 0}); err != nil {
+		t.Fatalf("post-shutdown send: %v", err)
+	}
+}
+
+// TestTCPSendOnlyGatherRefuses pins the collector contract: a
+// send-only instance cannot gather.
+func TestTCPSendOnlyGatherRefuses(t *testing.T) {
+	sender, err := NewTCPTransport(1, TCPConfig{Addr: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.Gather(context.Background(), 1); !errors.Is(err, ErrNotCollector) {
+		t.Fatalf("Gather = %v, want ErrNotCollector", err)
+	}
+	if _, err := sender.GatherQuorum(context.Background(), GatherSpec{K: 1, Quorum: 1}); !errors.Is(err, ErrNotCollector) {
+		t.Fatalf("GatherQuorum = %v, want ErrNotCollector", err)
+	}
+}
+
+// TestTCPFactoryFailureSurfaces: a factory whose bind fails must yield
+// a transport that reports the root cause, and a run using it must
+// fail with that cause instead of hanging.
+func TestTCPFactoryFailureSurfaces(t *testing.T) {
+	factory := NewTCPFactory(TCPConfig{ListenAddr: "this is not:a bindable:address"})
+	tr := factory(4)
+	if _, ok := tr.(failedTransport); !ok {
+		t.Fatalf("factory with unbindable address returned %T, want failedTransport", tr)
+	}
+	_, _, err := Run(context.Background(), testProblem(), Options{
+		Nodes: 2, NewTransport: func(k int) Transport { return factory(k) },
+	})
+	if err == nil {
+		t.Fatal("run with unbindable collector succeeded")
+	}
+}
+
+// TestTCPUnknownSenderCostsTheConnection: a frame naming a node the
+// run never had must be filtered at the transport — feeding it through
+// would fail the whole gather as a protocol violation, handing any
+// peer that can reach the port a one-frame kill switch.
+func TestTCPUnknownSenderCostsTheConnection(t *testing.T) {
+	tr := tcpLoopback(t, 2)
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// A well-formed frame from "node 7" of a 2-node run. Wait for the
+	// filter to record it before gathering — the gather returning at
+	// quorum shuts the readers down.
+	if err := tr.Send(ctx, NodeShares{ID: 7, Lo: 0, Hi: 1, Vals: [][][]uint64{{{1}}}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.BadFrames() < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := tr.BadFrames(); got != 1 {
+		t.Fatalf("BadFrames = %d, want 1", got)
+	}
+	if err := tr.Send(ctx, NodeShares{ID: 1, Lo: 0, Hi: 1, Vals: [][][]uint64{{{2}}}}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := tr.GatherQuorum(ctx, GatherSpec{K: 2, Quorum: 1, Grace: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, missing, err := collectShares(msgs, 2)
+	if err != nil {
+		t.Fatalf("forged id reached collectShares: %v", err)
+	}
+	if len(delivered) != 1 || delivered[0].ID != 1 || !sameInts(missing, []int{0}) {
+		t.Fatalf("delivered %+v missing %v", delivered, missing)
+	}
+}

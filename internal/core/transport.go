@@ -90,6 +90,18 @@ type QuorumGatherer interface {
 	GatherQuorum(ctx context.Context, spec GatherSpec) ([]NodeShares, error)
 }
 
+// SendDrainer is an optional Transport capability for transports that
+// accept a Send and deliver it later on their own goroutines (e.g.
+// LossyTransport's injected delays). DrainSends blocks until every
+// such in-flight delivery has completed or been abandoned and returns
+// the first delivery failure. The engine calls it once the worker pool
+// has finished sending and before closing GatherSpec.SendsDone, so an
+// asynchronous delivery failure still fails the run with its root
+// cause and "sending concluded" is never announced early.
+type SendDrainer interface {
+	DrainSends(ctx context.Context) error
+}
+
 // TransportFactory builds a fresh Transport for a run of k nodes. A
 // factory rather than an instance, because a Transport holds per-run
 // message state while Options values are routinely reused across runs.

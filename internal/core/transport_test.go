@@ -10,6 +10,8 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -363,5 +365,222 @@ func TestRunQuorumModeMatchesStrictWhenNothingIsLost(t *testing.T) {
 	}
 	if len(rep.MissingNodes) > 2 {
 		t.Fatalf("MissingNodes = %v beyond MaxErasures", rep.MissingNodes)
+	}
+}
+
+// TestLossyTransportDelayDoesNotBlockSender is the regression test for
+// the delay-injection fix: the injected latency models the network
+// holding the message, so Send must hand the delayed delivery to a
+// goroutine and return immediately — a blocking Send would serialize
+// the compute workers and skew every throughput reading.
+func TestLossyTransportDelayDoesNotBlockSender(t *testing.T) {
+	bus := NewBroadcastBus(2)
+	// Find a seed whose fate for sender 0 is "delay, no drop": the
+	// fate function is pure, so probe it without any I/O.
+	cfg := LossyConfig{DelayRate: 1, MaxDelay: time.Hour}
+	var lt *LossyTransport
+	for seed := int64(0); ; seed++ {
+		cfg.Seed = seed
+		lt = NewLossyTransport(bus, cfg)
+		if drop, _, delay := lt.fate(0); !drop && delay > 30*time.Minute {
+			break
+		}
+		if seed > 10_000 {
+			t.Fatal("no seed with a long delay fate found")
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	if err := lt.Send(ctx, NodeShares{ID: 0, Lo: 0, Hi: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if blocked := time.Since(start); blocked > 2*time.Second {
+		t.Fatalf("Send blocked %v on an hour-scale injected delay", blocked)
+	}
+	// The message is held by the network, not delivered yet.
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer drainCancel()
+	if _, err := bus.Gather(drainCtx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed message visible early: %v", err)
+	}
+	// Cancelling the send context abandons the pending delivery, and
+	// DrainSends observes the goroutine's exit.
+	cancel()
+	_ = lt.DrainSends(context.Background())
+}
+
+// TestLossyTransportShortDelayStillDelivers: the asynchronous path
+// must still deliver (including duplicate copies) once the delay
+// elapses.
+func TestLossyTransportShortDelayStillDelivers(t *testing.T) {
+	bus := NewBroadcastBus(4)
+	cfg := LossyConfig{DelayRate: 1, DupRate: 1, MaxDelay: 2 * time.Millisecond}
+	var lt *LossyTransport
+	for seed := int64(0); ; seed++ {
+		cfg.Seed = seed
+		lt = NewLossyTransport(bus, cfg)
+		if drop, copies, delay := lt.fate(3); !drop && copies == 2 && delay > 0 {
+			break
+		}
+		if seed > 10_000 {
+			t.Fatal("no seed with a delayed duplicate fate found")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := lt.Send(ctx, NodeShares{ID: 3, Lo: 0, Hi: 0}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := bus.Gather(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].ID != 3 || msgs[1].ID != 3 {
+		t.Fatalf("gathered %+v, want two copies from node 3", msgs)
+	}
+	_ = lt.DrainSends(context.Background())
+}
+
+// erroringTransport fails every Send; Gather behaves like a bus that
+// never hears anyone.
+type erroringTransport struct {
+	*BroadcastBus
+	err error
+}
+
+func (t *erroringTransport) Send(context.Context, NodeShares) error { return t.err }
+
+// TestLossyDelayedSendErrorFailsTheRun pins the error-propagation
+// contract of the asynchronous delay path: a delayed delivery that
+// fails must fail the run with the root cause — exactly as the old
+// blocking Send did — instead of leaving the gather waiting forever.
+func TestLossyDelayedSendErrorFailsTheRun(t *testing.T) {
+	boom := errors.New("the network ate the frame")
+	// A seed whose fate for every sender of a 2-node run is pure
+	// delay: probe fate directly.
+	cfg := LossyConfig{DelayRate: 1, MaxDelay: time.Millisecond}
+	probe := NewLossyTransport(NewBroadcastBus(2), cfg)
+	for seed := int64(0); ; seed++ {
+		probe.cfg.Seed = seed
+		if _, _, d0 := probe.fate(0); d0 > 0 {
+			if _, _, d1 := probe.fate(1); d1 > 0 {
+				cfg.Seed = seed
+				break
+			}
+		}
+		if seed > 100_000 {
+			t.Fatal("no all-delay seed found")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, err := Run(ctx, testProblem(), Options{
+		Nodes: 2, FaultTolerance: 1,
+		NewTransport: func(k int) Transport {
+			return NewLossyTransport(&erroringTransport{BroadcastBus: NewBroadcastBus(k), err: boom}, cfg)
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the delayed delivery's %v", err, boom)
+	}
+}
+
+// forgingTransport injects a forged message before delegating the
+// honest send — the in-memory stand-in for a hostile network peer.
+type forgingTransport struct {
+	*BroadcastBus
+	forge NodeShares
+	once  sync.Once
+}
+
+func (t *forgingTransport) Send(ctx context.Context, m NodeShares) error {
+	t.once.Do(func() { _ = t.BroadcastBus.Send(ctx, t.forge) })
+	return t.BroadcastBus.Send(ctx, m)
+}
+
+// TestMalformedShapeIsDeliveryFaultNotPanic: a structurally valid
+// message whose claimed geometry does not match the run (wrong range,
+// wrong prime count) used to reach the decoders' unchecked indexing.
+// In quorum mode it must now count as its sender's delivery fault and
+// the run must recover the baseline proof; in strict mode it must be
+// a typed refusal. Never a panic.
+func TestMalformedShapeIsDeliveryFaultNotPanic(t *testing.T) {
+	ctx := context.Background()
+	p := testProblem()
+	baseline, _, err := Run(ctx, p, Options{Nodes: 8, FaultTolerance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forged message claims node 3 with an absurd range and no
+	// prime payloads — first copy wins, so it shadows the honest one.
+	forge := NodeShares{ID: 3, Lo: 0, Hi: 1, Vals: nil}
+	proof, rep, err := Run(ctx, p, Options{
+		Nodes: 8, FaultTolerance: 4, MaxErasures: 1, GatherGrace: 2 * time.Second,
+		NewTransport: func(k int) Transport {
+			return &forgingTransport{BroadcastBus: NewBroadcastBus(2 * k), forge: forge}
+		},
+	})
+	if err != nil {
+		t.Fatalf("quorum run with forged shape: %v", err)
+	}
+	// Node 3 must be erased (its only delivery was the forged shape);
+	// the forged message also counted toward the quorum, so an honest
+	// straggler may legitimately ride along in the missing set — the
+	// budget covers it either way.
+	erased3 := false
+	for _, id := range rep.MissingNodes {
+		erased3 = erased3 || id == 3
+	}
+	if !erased3 {
+		t.Fatalf("MissingNodes = %v, want node 3 erased", rep.MissingNodes)
+	}
+	if err := proofsEqual(baseline, proof); err != nil {
+		t.Fatalf("proof differs after absorbing forged shape: %v", err)
+	}
+	// Strict mode: typed refusal, not a panic, not a hang.
+	_, _, err = Run(ctx, p, Options{
+		Nodes: 8, FaultTolerance: 4,
+		NewTransport: func(k int) Transport {
+			return &forgingTransport{BroadcastBus: NewBroadcastBus(2 * k), forge: forge}
+		},
+	})
+	if err == nil {
+		t.Fatal("strict run accepted a malformed share shape")
+	}
+}
+
+// TestForgedErrFrameIsDeliveryFaultInQuorumMode: an in-band error
+// message is trusted in strict mode (fail loudly with the node's
+// report) but in quorum mode the sender just contributed no shares —
+// a delivery fault within budget, which also denies an unauthenticated
+// network peer the one-frame kill switch of mailing a forged error.
+func TestForgedErrFrameIsDeliveryFaultInQuorumMode(t *testing.T) {
+	ctx := context.Background()
+	p := testProblem()
+	baseline, _, err := Run(ctx, p, Options{Nodes: 8, FaultTolerance: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forge := NodeShares{ID: 2, Err: errors.New("forged: the node is fine")}
+	newTransport := func(k int) Transport {
+		return &forgingTransport{BroadcastBus: NewBroadcastBus(2 * k), forge: forge}
+	}
+	// Quorum mode: the forged report erases node 2 at worst; the
+	// honest copy of node 2's shares arrives later and may still win.
+	proof, rep, err := Run(ctx, p, Options{
+		Nodes: 8, FaultTolerance: 4, MaxErasures: 1, GatherGrace: 2 * time.Second,
+		NewTransport: newTransport,
+	})
+	if err != nil {
+		t.Fatalf("quorum run failed on a forged error report: %v", err)
+	}
+	if err := proofsEqual(baseline, proof); err != nil {
+		t.Fatalf("proof differs: %v", err)
+	}
+	_ = rep
+	// Strict mode: the report is trusted and fails the run.
+	_, _, err = Run(ctx, p, Options{Nodes: 8, FaultTolerance: 4, NewTransport: newTransport})
+	if err == nil || !strings.Contains(err.Error(), "forged: the node is fine") {
+		t.Fatalf("strict run: err = %v, want the in-band report", err)
 	}
 }

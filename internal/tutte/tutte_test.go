@@ -3,7 +3,9 @@ package tutte
 import (
 	"context"
 	"math/big"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"camelot/internal/core"
 	"camelot/internal/graph"
@@ -227,5 +229,45 @@ func TestCamelotTutteWithFaults(t *testing.T) {
 		if s != 3 {
 			t.Fatalf("honest node %d implicated", s)
 		}
+	}
+}
+
+// TestComputeLinesBoundsInFlight is the regression test for the FK
+// line-concurrency fix: however many lines a multigraph has, at most
+// `concurrency` of them may be started (and therefore holding share
+// buffers) at once. The driver used to pass m+1 here, which let peak
+// memory scale with the edge count.
+func TestComputeLinesBoundsInFlight(t *testing.T) {
+	mg := graph.RandomMultigraph(4, 9, 5) // 10 FK lines
+	const bound = 2
+	var inFlight, maxSeen, started atomic.Int32
+	line := func(ctx context.Context, p *Problem) (*core.Proof, *core.Report, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		started.Add(1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		// Give overlapping starts a window to overlap: a sleep here is
+		// load-bearing, it widens the race the bound must prevent.
+		time.Sleep(2 * time.Millisecond)
+		return core.Run(ctx, p, core.Options{})
+	}
+	res, err := ComputeLines(context.Background(), mg, line, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := started.Load(); got != int32(mg.M()+1) {
+		t.Fatalf("started %d lines, want %d", got, mg.M()+1)
+	}
+	if got := maxSeen.Load(); got > bound {
+		t.Fatalf("%d lines in flight at once, bound %d", got, bound)
+	}
+	// And the capped computation still matches the classical recursion.
+	if want := DeletionContraction(mg); !tutteEqual(res.T, want) {
+		t.Fatal("bounded-concurrency Tutte result diverged from deletion-contraction")
 	}
 }

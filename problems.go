@@ -125,7 +125,12 @@ func TuttePolynomial(ctx context.Context, mg *Multigraph, opts ...Option) (*Tutt
 	line := func(ctx context.Context, p *tutte.Problem) (*core.Proof, *core.Report, error) {
 		return cl.submitCore(ctx, p, copts).Wait(ctx)
 	}
-	return tutte.ComputeLines(ctx, mg.mg, line, mg.mg.M()+1)
+	// In-flight lines are capped at the executing pool's width, not
+	// m+1: a line allocates its full share buffers the moment its run
+	// starts — before any task reaches the pool — so admitting every
+	// line at once makes peak memory scale with the edge count while
+	// the pool can only progress width lines' work anyway.
+	return tutte.ComputeLines(ctx, mg.mg, line, cl.pool.Width())
 }
 
 // EvalTutte evaluates a recovered Tutte coefficient matrix at (x, y).
