@@ -510,6 +510,93 @@ func BenchmarkE14BatchCNFSAT(b *testing.B) {
 	benchBatchVsPerPoint(b, p, q, 128)
 }
 
+func BenchmarkE14BatchChromatic(b *testing.B) {
+	g := graph.Gnp(10, 0.4, 10)
+	p, err := chromatic.NewProblem(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Evaluate(q, 0); err != nil { // warm the mask plan for both paths
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 128)
+}
+
+func BenchmarkE14BatchSetCover(b *testing.B) {
+	fam := []uint64{}
+	full := uint64(1)<<10 - 1
+	for i := uint64(1); len(fam) < 40; i += 37 {
+		x := (i * i * 2654435761) & full
+		if x != 0 {
+			fam = append(fam, x)
+		}
+	}
+	p, err := setcover.NewCoverProblem(fam, 10, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Evaluate(q, 0); err != nil { // warm the suffix plan for both paths
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 128)
+}
+
+// --- E16: batched proof verification --------------------------------------------------
+
+// BenchmarkE16VerifyProofBatch compares the RLC batch verifier against the
+// per-point spot-check audit path on a 64-point proof whose Evaluate is
+// deliberately expensive (set cover over a 512-set family): the per-point
+// verifier must re-evaluate the problem at every sampled point, while the
+// batch check only touches the proof's own coefficient and evaluation
+// tables. ISSUE 6 requires the batch path to win by >= 3x here.
+func BenchmarkE16VerifyProofBatch(b *testing.B) {
+	fam := make([]uint64, 512)
+	for i := range fam {
+		fam[i] = uint64(i % 64) // duplicates and the empty set are legal for covers
+	}
+	p, err := setcover.NewCoverProblem(fam, 6, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proof, rep, err := core.Run(context.Background(), p, core.Options{Nodes: 4, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !rep.Verified {
+		b.Fatal("seed proof not verified")
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ok, err := core.VerifyProofBatch(proof, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("batch verifier rejected a valid proof")
+			}
+		}
+	})
+	b.Run("perpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ok, err := core.VerifyProof(p, proof, 1, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("per-point verifier rejected a valid proof")
+			}
+		}
+	})
+}
+
 // --- E15: session-layer job throughput -----------------------------------------------
 
 // mixedJobProblems builds a mixed E14-style service workload: several

@@ -65,8 +65,9 @@ type Adversary = core.Adversary
 
 // BatchProblem is the optional block-evaluation extension of Problem:
 // problems implementing it receive their owned point range per prime
-// in blocks of up to 256 consecutive points per EvaluateBlock call,
-// amortizing per-prime setup across each block.
+// in blocks of consecutive points per EvaluateBlock call, amortizing
+// per-prime setup across each block. Block size is autotuned from a
+// first-chunk timing probe by default; WithBlockSize pins it.
 type BatchProblem = core.BatchProblem
 
 // Transport carries node share broadcasts; the default is the in-memory
@@ -316,6 +317,17 @@ func WithLossyTransport(cfg LossyConfig) ClusterOption {
 	return clusterOption(func(cc *clusterConfig) {
 		cc.newTransport = core.NewLossyFactory(cfg, cc.newTransport)
 	})
+}
+
+// WithBlockSize fixes how many consecutive points one EvaluateBlock
+// call receives for BatchProblem implementations. The default (0)
+// autotunes: each evaluation task times a small probe chunk and sizes
+// subsequent blocks for roughly 25ms each, so cheap points get large
+// amortizing blocks and expensive points keep cancellation responsive.
+// Pin an explicit size when the problem's per-block setup has a known
+// sweet spot (or when benchmarking block-size sensitivity itself).
+func WithBlockSize(points int) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.BlockSize = points })
 }
 
 // WithFaultTolerance sets the number f of corrupted shares the run

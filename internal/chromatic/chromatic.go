@@ -10,6 +10,7 @@ package chromatic
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"camelot/internal/bipoly"
 	"camelot/internal/core"
@@ -29,9 +30,15 @@ type Problem struct {
 	g     *graph.Graph
 	n     int
 	split partition.Split
+
+	// planOnce/plan cache the x0- and q-independent independent-set
+	// structure of the cut for the batch path; see blockPlan.
+	planOnce sync.Once
+	plan     blockPlan
 }
 
 var _ core.Problem = (*Problem)(nil)
+var _ core.BatchProblem = (*Problem)(nil)
 
 // NewProblem builds the Theorem 6 problem for a simple graph.
 func NewProblem(g *graph.Graph) (*Problem, error) {
@@ -119,6 +126,86 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	}
 	g := p.nodeG(f, x0)
 	return p.split.EvaluateAll(p.split.Ring(f), g, p.n+1)
+}
+
+// blockPlan is the evaluation-point-independent (and modulus-
+// independent) part of nodeG: which subsets of each side of the cut are
+// independent sets, their sizes, and — for the E side — the gB table
+// index B \ Γ(X) the cross-cut lookup reads. Evaluate rediscovers this
+// per point with IsIndependentMask/NeighborhoodMask bit scans; the
+// batch path computes it once per Problem and reuses it for every
+// point of every block of every prime.
+type blockPlan struct {
+	b []bMask
+	e []eMask
+}
+
+type bMask struct {
+	mask uint64 // X ⊆ B, independent (B-local bits)
+	pop  int
+}
+
+type eMask struct {
+	mask uint64 // X ⊆ E, independent
+	comp uint64 // fullB &^ (Γ(X) ∩ B): the gB index read for X
+	pop  int
+}
+
+func (p *Problem) buildPlan() {
+	ne := len(p.split.E)
+	nb := len(p.split.B)
+	fullB := uint64(1)<<uint(nb) - 1
+	for bm := uint64(0); bm <= fullB; bm++ {
+		if p.g.IsIndependentMask(bm << uint(ne)) {
+			p.plan.b = append(p.plan.b, bMask{mask: bm, pop: popcount(bm)})
+		}
+	}
+	for em := uint64(0); em < 1<<uint(ne); em++ {
+		if !p.g.IsIndependentMask(em) {
+			continue
+		}
+		nbrB := (p.g.NeighborhoodMask(em) >> uint(ne)) & fullB
+		p.plan.e = append(p.plan.e, eMask{mask: em, comp: fullB &^ nbrB, pop: popcount(em)})
+	}
+}
+
+// EvaluateBlock implements core.BatchProblem: the independent-set scan
+// of both lattice sides — 2^{|E|} + 2^{|B|} mask/neighborhood probes per
+// point on the plain path — is hoisted into a once-per-Problem plan, so
+// each point of the block runs only the field-dependent work (x0 powers,
+// zeta transforms, the template's incremental t-powers). Arithmetic
+// order is identical to Evaluate, so results agree bit for bit (the
+// equivalence test cross-checks the two paths; the verification stage
+// re-evaluates through Evaluate either way).
+func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
+	p.planOnce.Do(p.buildPlan)
+	ring := p.split.Ring(f)
+	ne := len(p.split.E)
+	nb := len(p.split.B)
+	rows := make([][]uint64, len(xs))
+	for i, x0 := range xs {
+		xp := p.split.NewXPowers(f, x0)
+		gB := make([]bipoly.Poly, 1<<uint(nb))
+		for _, m := range p.plan.b {
+			gB[m.mask] = ring.Monomial(0, m.pop, xp.ForMask(m.mask))
+		}
+		yates.Zeta(nb, gB, ring.AddInPlace)
+		g := make([]bipoly.Poly, 1<<uint(ne))
+		for _, m := range p.plan.e {
+			g[m.mask] = ring.MulMonomial(gB[m.comp], m.pop, 0, 1)
+		}
+		yates.Zeta(ne, g, ring.AddInPlace)
+		row, err := p.split.EvaluateAll(ring, g, p.n+1)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 // Values recovers the chromatic polynomial values χ_G(t) for

@@ -146,6 +146,13 @@ type Options struct {
 	// and decoding. 0 means runtime.GOMAXPROCS — the logical node count
 	// K no longer dictates goroutine count.
 	MaxParallelism int
+	// BlockSize fixes how many consecutive points one EvaluateBlock call
+	// receives when the problem implements BatchProblem. 0 (the default)
+	// autotunes: each range task times a small probe chunk first and
+	// sizes subsequent blocks to targetBlockNs, clamped to
+	// [minBatchChunk, maxBatchChunk]. Explicit positive values are used
+	// as given — the cancellation quantum is then the caller's business.
+	BlockSize int
 	// NewTransport builds the share-broadcast transport for a run of k
 	// nodes (default: the in-memory BroadcastBus). A factory rather than
 	// an instance because transports hold per-run message state while

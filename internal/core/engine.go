@@ -292,7 +292,7 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 			st := nodes[ch.node]
 			start := time.Now()
 			err := evaluateRangeInto(sendCtx, en.p, en.primes[ch.prime], ch.lo, ch.hi, en.w,
-				st.msg.Vals[ch.prime], st.msg.Lo)
+				st.msg.Vals[ch.prime], st.msg.Lo, en.opts.BlockSize)
 			st.elapsedNS.Add(int64(time.Since(start)))
 			if err != nil {
 				return fmt.Errorf("node %d: %w", ch.node, err)

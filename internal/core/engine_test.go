@@ -291,15 +291,16 @@ func TestRunFailingGatherDoesNotDeadlock(t *testing.T) {
 func TestEvaluateRangeChunksBatchWithCancellationChecks(t *testing.T) {
 	bp := &batchPolyProblem{polyProblem: testProblem()}
 	ctx := context.Background()
-	const q, lo, hi = 257, 0, 2*maxBatchChunk + 10
-	batch, err := evaluateRange(ctx, bp, q, lo, hi, bp.Width())
+	const blockSize = 256
+	const q, lo, hi = 257, 0, 2*blockSize + 10
+	batch, err := evaluateRange(ctx, bp, q, lo, hi, bp.Width(), blockSize)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if calls := bp.blockCalls.Load(); calls != 3 {
-		t.Fatalf("range of %d points used %d blocks, want 3 chunks of <= %d", hi-lo, calls, maxBatchChunk)
+		t.Fatalf("range of %d points used %d blocks, want 3 chunks of <= %d", hi-lo, calls, blockSize)
 	}
-	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, bp.Width())
+	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, bp.Width(), blockSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,11 +311,37 @@ func TestEvaluateRangeChunksBatchWithCancellationChecks(t *testing.T) {
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
 	before := bp.blockCalls.Load()
-	if _, err := evaluateRange(cancelled, bp, q, lo, hi, bp.Width()); !errors.Is(err, context.Canceled) {
+	if _, err := evaluateRange(cancelled, bp, q, lo, hi, bp.Width(), blockSize); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if bp.blockCalls.Load() != before {
 		t.Fatal("EvaluateBlock ran despite cancelled context")
+	}
+}
+
+func TestEvaluateRangeAutotunesBlockSize(t *testing.T) {
+	bp := &batchPolyProblem{polyProblem: testProblem()}
+	ctx := context.Background()
+	const q, lo, hi = 257, 0, 20000
+	// blockSize <= 0 autotunes: the first call is a probeChunk-sized
+	// probe, and these near-free evaluations push the steady-state size
+	// to the maxBatchChunk clamp, so the whole range takes
+	// 1 + ceil((hi-probeChunk)/maxBatchChunk) calls.
+	batch, err := evaluateRange(ctx, bp, q, lo, hi, bp.Width(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCalls := int64(1 + (hi-lo-probeChunk+maxBatchChunk-1)/maxBatchChunk)
+	if calls := bp.blockCalls.Load(); calls != wantCalls {
+		t.Fatalf("autotuned range of %d points used %d blocks, want %d (probe %d + clamp %d)",
+			hi-lo, calls, wantCalls, probeChunk, maxBatchChunk)
+	}
+	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, bp.Width(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(batch) != fmt.Sprint(point) {
+		t.Fatal("autotuned batch evaluation disagrees with per-point fallback")
 	}
 }
 
@@ -471,11 +498,11 @@ func TestEvaluateRangeFallbackMatchesBatch(t *testing.T) {
 	ctx := context.Background()
 	const q, lo, hi = 257, 2, 9
 	w := bp.Width()
-	batch, err := evaluateRange(ctx, bp, q, lo, hi, w)
+	batch, err := evaluateRange(ctx, bp, q, lo, hi, w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, w)
+	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,14 +13,17 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // BatchProblem is an optional extension of Problem: EvaluateBlock
 // computes P at many points of one prime in a single call, returning
 // one row (P_0(x), ..., P_{Width-1}(x)) per requested point. The
-// framework hands each node its owned point range in blocks of up to
-// maxBatchChunk consecutive points, so implementations can do
-// per-prime input reduction once per block instead of once per point.
+// framework hands each node its owned point range in blocks of
+// consecutive points — sized by Options.BlockSize, or autotuned from a
+// first-chunk timing probe (see evaluateRangeInto) — so implementations
+// can do per-prime input reduction once per block instead of once per
+// point.
 // The xs slice is reused between calls; implementations must not retain
 // it past the call.
 // Results must be identical to point-wise Evaluate — the verification
@@ -31,11 +34,43 @@ type BatchProblem interface {
 	EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error)
 }
 
-// maxBatchChunk caps how many points one EvaluateBlock call receives:
-// large enough that per-prime setup is fully amortized, small enough
-// that context cancellation is observed with bounded latency even when
-// every point is expensive.
-const maxBatchChunk = 256
+// Block-size autotuning. A block is the cancellation quantum of the
+// prepare stage — ctx is only observed between EvaluateBlock calls — so
+// the right size depends on how expensive a point is: cheap points want
+// huge blocks (amortize per-block setup), expensive points want small
+// ones (bounded abort latency). Rather than hardcode one number (the
+// retired constant was 256), the first chunk of each range is a small
+// probe whose measured duration sets the steady-state size, targeting
+// targetBlockNs per block and clamped to [minBatchChunk, maxBatchChunk].
+// Options.BlockSize overrides the probe with a fixed size.
+const (
+	// probeChunk is the first-chunk probe size under autotuning.
+	probeChunk = 32
+	// minBatchChunk / maxBatchChunk clamp the autotuned size.
+	minBatchChunk = 16
+	maxBatchChunk = 4096
+	// targetBlockNs is the steady-state per-block duration the autotuner
+	// aims for: long enough to amortize setup, short enough that
+	// cancellation latency stays human-scale.
+	targetBlockNs = 25_000_000
+)
+
+// tuneBlockSize derives the steady-state block size from the probe
+// chunk's measured duration.
+func tuneBlockSize(elapsed time.Duration, probePoints int) int {
+	perPoint := elapsed.Nanoseconds() / int64(probePoints)
+	if perPoint <= 0 {
+		return maxBatchChunk
+	}
+	bs := int(targetBlockNs / perPoint)
+	if bs < minBatchChunk {
+		return minBatchChunk
+	}
+	if bs > maxBatchChunk {
+		return maxBatchChunk
+	}
+	return bs
+}
 
 // scheduler runs indexed tasks on a bounded worker pool.
 type scheduler struct {
@@ -110,12 +145,12 @@ feed:
 // evaluateRange computes vals[coord][x-lo] = P_coord(x) mod q for the
 // point range [lo, hi), through EvaluateBlock when the problem supports
 // it and point-at-a-time Evaluate otherwise.
-func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width int) ([][]uint64, error) {
+func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width, blockSize int) ([][]uint64, error) {
 	vals := make([][]uint64, width)
 	for c := range vals {
 		vals[c] = make([]uint64, hi-lo)
 	}
-	if err := evaluateRangeInto(ctx, p, q, lo, hi, width, vals, lo); err != nil {
+	if err := evaluateRangeInto(ctx, p, q, lo, hi, width, vals, lo, blockSize); err != nil {
 		return nil, err
 	}
 	return vals, nil
@@ -124,26 +159,42 @@ func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width int) 
 // evaluateRangeInto evaluates the point range [lo, hi) directly into
 // dst[coord][x-base] — the engine's form, where several chunk tasks of
 // the same node write disjoint slices of one shared message buffer.
-func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width int, dst [][]uint64, base int) error {
+// blockSize > 0 fixes the EvaluateBlock chunk size; <= 0 autotunes it
+// from a first-chunk timing probe (each range task probes for itself:
+// the probe is real work, and per-point cost can differ across primes).
+func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width int, dst [][]uint64, base int, blockSize int) error {
 	if bp, ok := p.(BatchProblem); ok {
+		autotune := blockSize <= 0
+		chunk := blockSize
+		if autotune {
+			chunk = probeChunk
+		}
 		// One chunk buffer for the whole range; EvaluateBlock must not
 		// retain its argument (see the BatchProblem contract).
-		xs := make([]uint64, 0, maxBatchChunk)
-		for start := lo; start < hi; start += maxBatchChunk {
+		var xs []uint64
+		for start := lo; start < hi; {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			end := start + maxBatchChunk
+			end := start + chunk
 			if end > hi {
 				end = hi
+			}
+			if cap(xs) < end-start {
+				xs = make([]uint64, end-start)
 			}
 			xs = xs[:end-start]
 			for i := range xs {
 				xs[i] = uint64(start + i)
 			}
+			probeStart := time.Now()
 			rows, err := bp.EvaluateBlock(q, xs)
 			if err != nil {
 				return fmt.Errorf("evaluating block [%d,%d) mod %d: %w", start, end, q, err)
+			}
+			if autotune {
+				chunk = tuneBlockSize(time.Since(probeStart), end-start)
+				autotune = false
 			}
 			if len(rows) != len(xs) {
 				return fmt.Errorf("EvaluateBlock returned %d rows, want %d", len(rows), len(xs))
@@ -156,6 +207,7 @@ func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width i
 					dst[c][start-base+i] = v % q
 				}
 			}
+			start = end
 		}
 		return nil
 	}

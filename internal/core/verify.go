@@ -92,3 +92,112 @@ func uniformUint64(rng *rand.Rand, q uint64) uint64 {
 		}
 	}
 }
+
+// VerifyProofBatch is the batched ingest check: it verifies that a
+// proof is *internally consistent* — that for every modulus the stored
+// codeword evaluations (Evals) are exactly the evaluations of the
+// stored coefficient vectors (Coeffs) at the proof points 0..e-1 —
+// while folding all Width·e per-point equations into ONE Horner
+// evaluation per prime under a seeded random-linear-combination
+// challenge. It never calls Problem.Evaluate, so a proof service can
+// run it at ingest on proofs whose problem instance it cannot (or will
+// not) evaluate; the paranoid per-point path — VerifyProof's fresh
+// evaluations of P against the input — remains the audit-grade check
+// that ties the proof to the problem.
+//
+// Per prime q, with W = Width, e = len(Points), d = Degree, the check
+// draws r, z uniform in [0, q) from the seeded generator and accepts
+// iff
+//
+//	Σ_i Λ_i(z) · (Σ_c r^c·Evals[c][i])  ==  (Σ_c r^c·Coeffs[c])(z)
+//
+// where Λ_i is the Lagrange basis over the grid 0..e-1: the left side
+// is the degree-<e interpolation of the r-folded codeword evaluated at
+// z, the right side the r-folded coefficient polynomial at z.
+//
+// Soundness: suppose some coordinate's Evals disagree with its Coeffs.
+// The r-fold of the per-coordinate difference polynomials is a nonzero
+// polynomial in r of degree ≤ W-1 evaluated coefficient-wise, so the
+// folded difference vanishes for at most (W-1)/q of the r draws
+// (Schwartz–Zippel in r). When it does not vanish, the two sides are
+// distinct polynomials in z of degree ≤ max(d, e-1) and agree for at
+// most max(d, e-1)/q of the z draws. One round therefore wrongly
+// accepts with probability at most
+//
+//	(W-1 + max(d, e-1)) / q   per prime,
+//
+// and independent challenges across primes multiply the bound. For the
+// framework's primes (≥ 2^31) and typical proof shapes this is < 2^-19
+// per prime per call.
+//
+// Cost: O(W·(d+e) + e) multiplications per prime versus the W·e·d of
+// auditing every point — the fold is what makes batched ingest cheap.
+func VerifyProofBatch(proof *Proof, seed int64) (bool, error) {
+	return verifyProofBatch(context.Background(), proof, seed)
+}
+
+// VerifyProofBatchContext is VerifyProofBatch with cancellation,
+// checked once per prime.
+func VerifyProofBatchContext(ctx context.Context, proof *Proof, seed int64) (bool, error) {
+	return verifyProofBatch(ctx, proof, seed)
+}
+
+func verifyProofBatch(ctx context.Context, proof *Proof, seed int64) (bool, error) {
+	e := len(proof.Points)
+	for i, x := range proof.Points {
+		if x != uint64(i) {
+			return false, fmt.Errorf("batch verification requires the consecutive point grid 0..%d, got point %d at index %d", e-1, x, i)
+		}
+	}
+	if proof.Width == 0 || e == 0 {
+		return true, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, q := range proof.Primes {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		f, err := ff.New(q)
+		if err != nil {
+			return false, err
+		}
+		k := f.Kernel()
+		coeffs, ok := proof.Coeffs[q]
+		evals, ok2 := proof.Evals[q]
+		if !ok || !ok2 {
+			return false, fmt.Errorf("proof missing modulus %d", q)
+		}
+		if len(coeffs) < proof.Width || len(evals) < proof.Width {
+			return false, fmt.Errorf("proof mod %d has %d coefficient rows and %d evaluation rows, want %d",
+				q, len(coeffs), len(evals), proof.Width)
+		}
+		r := uniformUint64(rng, q)
+		z := uniformUint64(rng, q)
+		foldedC := make([]uint64, proof.Degree+1)
+		foldedE := make([]uint64, e)
+		rc := uint64(1) // r^c
+		for c := 0; c < proof.Width; c++ {
+			if len(coeffs[c]) != proof.Degree+1 || len(evals[c]) != e {
+				return false, fmt.Errorf("proof mod %d coordinate %d: %d coefficients and %d evaluations, want %d and %d",
+					q, c, len(coeffs[c]), len(evals[c]), proof.Degree+1, e)
+			}
+			rcS := k.Shift(rc)
+			for j, v := range coeffs[c] {
+				foldedC[j] = f.Add(foldedC[j], ff.MulKS(v%q, rcS, k))
+			}
+			for i, v := range evals[c] {
+				foldedE[i] = f.Add(foldedE[i], ff.MulKS(v%q, rcS, k))
+			}
+			rc = ff.MulK(rc, r, k)
+		}
+		lam := f.LagrangeAtZeroBased(e, z)
+		lhs := uint64(0)
+		for i, li := range lam {
+			lhs = f.Add(lhs, ff.MulK(li, foldedE[i], k))
+		}
+		if lhs != f.Horner(foldedC, z) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

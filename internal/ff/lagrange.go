@@ -196,10 +196,9 @@ func (le *LagrangeEvaluator) At(x0 uint64, out []uint64) []uint64 {
 		gamma = MulK(gamma, diff, k)
 	}
 	f.BatchInvScratch(le.diffs, le.prefix)
-	gs := k.Shift(gamma)
-	for i := 0; i < le.bigR; i++ {
-		out[i] = MulKS(MulK(le.invFixed[i], le.diffs[i], k), gs, k)
-	}
+	// The grid reduction: out[i] = invFixed[i]·diffs[i]·gamma, via the
+	// 4-wide unrolled sweep (vec.go).
+	MulScaleVecKS(out, le.invFixed, le.diffs, k.Shift(gamma), k)
 	return out
 }
 

@@ -1,0 +1,113 @@
+package ff
+
+// 4-wide unrolled lazy-reduction sweeps over the Möller–Granlund kernel.
+//
+// MulK computes bits.Mul64(a, b<<k.s): only the SECOND operand is
+// shifted, so it must be canonical (< q), while the FIRST operand may be
+// a *lazy* residue anywhere below 4q — the division precondition is
+// a·b < q·2^64, and 4q·q ≤ q·2^64 for every q ≤ MaxPrime = 2^62-1.
+// The sweeps below exploit that one-sided slack: callers feed unreduced
+// sums (< 2q) and Harvey-style NTT residues (< 4q) straight into the
+// multiplier, skipping the conditional subtractions a canonical
+// representation would need. Every function returns fully canonical
+// values, so results are bit-identical to the reference loops they
+// replace (the arithmetic is exact mod q; only intermediate
+// representations differ). Differential and fuzz tests in vec_test.go
+// pin each variant against the scalar Field-op reference across the
+// diffModuli sweep.
+//
+// The bodies are unrolled 4-wide by hand: MulK/MulKS inline (guarded by
+// TestMulKStaysInlinable), and unrolling lets the four independent
+// reduction chains overlap in the out-of-order window instead of
+// serializing on the loop counter.
+
+// MulVecKS sets dst[i] = a[i]·b mod q for every i, where bs = k.Shift(b)
+// is the pre-shifted canonical multiplier. Entries of a may be lazy
+// (< 4q). dst and a may alias; len(dst) must be >= len(a).
+func MulVecKS(dst, a []uint64, bs uint64, k Kernel) {
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := MulKS(a[i], bs, k)
+		d1 := MulKS(a[i+1], bs, k)
+		d2 := MulKS(a[i+2], bs, k)
+		d3 := MulKS(a[i+3], bs, k)
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < n; i++ {
+		dst[i] = MulKS(a[i], bs, k)
+	}
+}
+
+// MulVecK sets dst[i] = a[i]·b[i] mod q pointwise. Entries of a may be
+// lazy (< 4q); entries of b must be canonical. dst may alias a or b.
+func MulVecK(dst, a, b []uint64, k Kernel) {
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := MulK(a[i], b[i], k)
+		d1 := MulK(a[i+1], b[i+1], k)
+		d2 := MulK(a[i+2], b[i+2], k)
+		d3 := MulK(a[i+3], b[i+3], k)
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < n; i++ {
+		dst[i] = MulK(a[i], b[i], k)
+	}
+}
+
+// MulScaleVecKS sets dst[i] = a[i]·b[i]·c mod q, where cs = k.Shift(c)
+// is pre-shifted — the Lagrange grid reduction (LagrangeEvaluator.At
+// combines a fixed-weight vector, a per-point difference vector, and one
+// scalar). Entries of a may be lazy (< 4q); b and c must be canonical.
+func MulScaleVecKS(dst, a, b []uint64, cs uint64, k Kernel) {
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := MulKS(MulK(a[i], b[i], k), cs, k)
+		d1 := MulKS(MulK(a[i+1], b[i+1], k), cs, k)
+		d2 := MulKS(MulK(a[i+2], b[i+2], k), cs, k)
+		d3 := MulKS(MulK(a[i+3], b[i+3], k), cs, k)
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = d0, d1, d2, d3
+	}
+	for ; i < n; i++ {
+		dst[i] = MulKS(MulK(a[i], b[i], k), cs, k)
+	}
+}
+
+// ProdSumLazy returns acc·Π_i (a[i]+b[i]) mod q — the Gray-code
+// permanent sweep. The sums a[i]+b[i] are fed to the multiplier
+// unreduced (< 2q, within the lazy first-operand budget), skipping the
+// canonicalizing subtraction of Field.Add. Entries of a and b must be
+// canonical, as must acc. Like the reference sweep it early-exits once
+// the product hits zero (zero is absorbing, so checking every fourth
+// step leaves the result unchanged).
+func ProdSumLazy(acc uint64, a, b []uint64, k Kernel) uint64 {
+	n := len(a)
+	i := 0
+	for ; acc != 0 && i+4 <= n; i += 4 {
+		acc = MulK(a[i]+b[i], acc, k)
+		acc = MulK(a[i+1]+b[i+1], acc, k)
+		acc = MulK(a[i+2]+b[i+2], acc, k)
+		acc = MulK(a[i+3]+b[i+3], acc, k)
+	}
+	for ; acc != 0 && i < n; i++ {
+		acc = MulK(a[i]+b[i], acc, k)
+	}
+	return acc
+}
+
+// ReduceVec4Q canonicalizes entries from the Harvey lazy range [0, 4q)
+// in place: two conditional subtractions per entry.
+func ReduceVec4Q(a []uint64, q uint64) {
+	twoQ := 2 * q
+	for i, v := range a {
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		a[i] = v
+	}
+}

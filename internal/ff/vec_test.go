@@ -1,0 +1,203 @@
+package ff
+
+// Differential and fuzz tests pinning the 4-wide unrolled lazy-reduction
+// sweeps (vec.go) against scalar Field-op reference loops, bit for bit,
+// across the diffModuli sweep — including lazy inputs pushed to the top
+// of their allowed ranges ([0,4q) first operands, unreduced [0,2q) sums).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lazyLift returns a copy of xs with each canonical entry lifted by a
+// pseudo-random multiple of q chosen below the given bound (lift<4 means
+// values in [0, 4q)), skipping lifts that would overflow uint64.
+func lazyLift(xs []uint64, q uint64, lift int, rng *rand.Rand) []uint64 {
+	out := make([]uint64, len(xs))
+	for i, x := range xs {
+		m := uint64(rng.Intn(lift))
+		for m > 0 && x+m*q < x {
+			m--
+		}
+		out[i] = x + m*q
+	}
+	return out
+}
+
+func randVec(n int, q uint64, rng *rand.Rand) []uint64 {
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = rng.Uint64() % q
+	}
+	return xs
+}
+
+func TestMulVecKSMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range diffModuli(t) {
+		f := Must(q)
+		k := f.Kernel()
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 64, 129} {
+			a := randVec(n, q, rng)
+			b := rng.Uint64() % q
+			want := make([]uint64, n)
+			for i := range a {
+				want[i] = f.Mul(a[i], b)
+			}
+			lazy := lazyLift(a, q, 4, rng)
+			got := make([]uint64, n)
+			MulVecKS(got, lazy, k.Shift(b), k)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%d n=%d: MulVecKS[%d] = %d, want %d (lazy a=%d)", q, n, i, got[i], want[i], lazy[i])
+				}
+			}
+			// Aliased dst == a must work too.
+			MulVecKS(lazy, lazy, k.Shift(b), k)
+			for i := range want {
+				if lazy[i] != want[i] {
+					t.Fatalf("q=%d n=%d: aliased MulVecKS[%d] = %d, want %d", q, n, i, lazy[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecKMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, q := range diffModuli(t) {
+		f := Must(q)
+		k := f.Kernel()
+		for _, n := range []int{0, 1, 3, 4, 6, 8, 100} {
+			a := randVec(n, q, rng)
+			b := randVec(n, q, rng)
+			want := make([]uint64, n)
+			for i := range a {
+				want[i] = f.Mul(a[i], b[i])
+			}
+			lazy := lazyLift(a, q, 4, rng)
+			got := make([]uint64, n)
+			MulVecK(got, lazy, b, k)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%d n=%d: MulVecK[%d] = %d, want %d", q, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulScaleVecKSMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, q := range diffModuli(t) {
+		f := Must(q)
+		k := f.Kernel()
+		for _, n := range []int{0, 1, 3, 4, 5, 8, 77} {
+			a := randVec(n, q, rng)
+			b := randVec(n, q, rng)
+			c := rng.Uint64() % q
+			want := make([]uint64, n)
+			for i := range a {
+				want[i] = f.Mul(f.Mul(a[i], b[i]), c)
+			}
+			lazy := lazyLift(a, q, 4, rng)
+			got := make([]uint64, n)
+			MulScaleVecKS(got, lazy, b, k.Shift(c), k)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("q=%d n=%d: MulScaleVecKS[%d] = %d, want %d", q, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestProdSumLazyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, q := range diffModuli(t) {
+		f := Must(q)
+		k := f.Kernel()
+		for _, n := range []int{0, 1, 3, 4, 5, 8, 33} {
+			for trial := 0; trial < 8; trial++ {
+				a := randVec(n, q, rng)
+				b := randVec(n, q, rng)
+				if trial%3 == 1 && n > 0 {
+					// Force a zero factor so the early exit is exercised.
+					i := rng.Intn(n)
+					a[i] = 0
+					b[i] = 0
+				}
+				acc := rng.Uint64() % q
+				want := acc
+				for i := 0; i < n && want != 0; i++ {
+					want = f.Mul(want, f.Add(a[i], b[i]))
+				}
+				if got := ProdSumLazy(acc, a, b, k); got != want {
+					t.Fatalf("q=%d n=%d: ProdSumLazy = %d, want %d", q, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceVec4Q(t *testing.T) {
+	for _, q := range diffModuli(t) {
+		rng := rand.New(rand.NewSource(int64(q)))
+		xs := randVec(50, q, rng)
+		lazy := lazyLift(xs, q, 4, rng)
+		ReduceVec4Q(lazy, q)
+		for i := range xs {
+			if lazy[i] != xs[i] {
+				t.Fatalf("q=%d: ReduceVec4Q[%d] = %d, want %d", q, i, lazy[i], xs[i])
+			}
+		}
+	}
+}
+
+func FuzzMulVecKS(f *testing.F) {
+	f.Add(uint64(1048583), uint64(3), uint64(5), uint64(2))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), uint64(3))
+	f.Fuzz(func(t *testing.T, q, a, b, lift uint64) {
+		q = NextPrime(2 + q%(1<<61))
+		fl := Must(q)
+		k := fl.Kernel()
+		a, b = a%q, b%q
+		al := a + (lift%4)*q // lazy first operand, < 4q
+		if al < a {
+			al = a
+		}
+		src := []uint64{al, al, al, al, al} // crosses the 4-wide boundary
+		dst := make([]uint64, len(src))
+		MulVecKS(dst, src, k.Shift(b), k)
+		want := fl.mulDiv(a, b)
+		for i, got := range dst {
+			if got != want {
+				t.Fatalf("q=%d: MulVecKS[%d](%d,%d) = %d, reference %d", q, i, al, b, got, want)
+			}
+		}
+	})
+}
+
+func FuzzProdSumLazy(f *testing.F) {
+	f.Add(uint64(65537), uint64(1), uint64(2), uint64(3))
+	f.Add(^uint64(0), uint64(0), ^uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, q, x, y, acc uint64) {
+		q = NextPrime(2 + q%(1<<61))
+		fl := Must(q)
+		k := fl.Kernel()
+		x, y, acc = x%q, y%q, acc%q
+		a := []uint64{x, y, x, y, x, y} // crosses the 4-wide boundary
+		b := []uint64{y, x, y, x, y, x}
+		want := acc
+		for i := range a {
+			if want == 0 {
+				break
+			}
+			want = fl.mulDiv(want, (a[i]+b[i])%q)
+		}
+		if got := ProdSumLazy(acc, a, b, k); got != want {
+			t.Fatalf("q=%d: ProdSumLazy(%d, %v, %v) = %d, reference %d", q, acc, a, b, got, want)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+// Package par provides small-grain data parallelism for the arithmetic
+// kernels. It sits below internal/poly and internal/rs, which cannot use
+// core.Pool (core imports rs imports poly), and which may already be
+// running *inside* a Pool worker — so the primitives here must never
+// block waiting for capacity.
+//
+// The design is a process-wide bucket of "helper" tokens, sized
+// GOMAXPROCS-1 (the caller always counts as one worker). ForChunks and
+// Do acquire helpers non-blockingly: when the bucket is empty — one CPU,
+// or every core already busy in an enclosing parallel region — they
+// degrade to plain serial execution on the caller's goroutine. That
+// makes nesting (a parallel EvalMany inside a parallel decode inside a
+// Pool task) deadlock-free by construction and keeps total goroutine
+// count bounded by GOMAXPROCS regardless of call depth.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// bucket holds the helper tokens; capacity is parallelism-1.
+type bucket struct {
+	ch chan struct{}
+}
+
+var cur atomic.Pointer[bucket]
+
+func init() {
+	cur.Store(newBucket(runtime.GOMAXPROCS(0)))
+}
+
+func newBucket(workers int) *bucket {
+	if workers < 1 {
+		workers = 1
+	}
+	b := &bucket{ch: make(chan struct{}, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		b.ch <- struct{}{}
+	}
+	return b
+}
+
+// SetParallelism replaces the helper bucket with one sized for the given
+// worker count (caller included; 1 forces fully serial execution) and
+// returns a restore function. It is a test knob: serial-vs-parallel
+// equivalence tests pin both sides with it. Regions already running keep
+// the bucket they acquired from, so a mid-flight swap is safe.
+func SetParallelism(workers int) func() {
+	prev := cur.Load()
+	cur.Store(newBucket(workers))
+	return func() { cur.Store(prev) }
+}
+
+// Parallelism returns the current worker count (helpers + the caller).
+// Kernels use it to skip splitting overhead when it reports 1.
+func Parallelism() int {
+	return cap(cur.Load().ch) + 1
+}
+
+// grab acquires up to want helper tokens without blocking and returns
+// how many it got.
+func grab(b *bucket, want int) int {
+	got := 0
+	for got < want {
+		select {
+		case <-b.ch:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ForChunks runs body over [0, n) split into contiguous chunks, one per
+// available worker (helpers acquired non-blockingly, plus the caller).
+// body must be safe to run concurrently on disjoint ranges. With no free
+// helpers it is exactly body(0, n) on the calling goroutine. ForChunks
+// returns when every chunk has finished.
+func ForChunks(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	b := cur.Load()
+	want := cap(b.ch)
+	if n-1 < want {
+		want = n - 1
+	}
+	helpers := grab(b, want)
+	if helpers == 0 {
+		body(0, n)
+		return
+	}
+	workers := helpers + 1
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for w := 1; w <= helpers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(lo, hi int) {
+			body(lo, hi)
+			b.ch <- struct{}{}
+			wg.Done()
+		}(lo, hi)
+	}
+	body(0, n/workers)
+	wg.Wait()
+}
+
+// Do runs f and g, concurrently when a helper token is free and serially
+// (f then g) otherwise. It returns when both have finished.
+func Do(f, g func()) {
+	b := cur.Load()
+	if grab(b, 1) == 0 {
+		f()
+		g()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		f()
+		b.ch <- struct{}{}
+		close(done)
+	}()
+	g()
+	<-done
+}

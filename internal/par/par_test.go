@@ -1,0 +1,125 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForChunksCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		restore := SetParallelism(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			hits := make([]int32, n)
+			ForChunks(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+		restore()
+	}
+}
+
+func TestForChunksSerialWhenParallelismOne(t *testing.T) {
+	restore := SetParallelism(1)
+	defer restore()
+	calls := 0
+	ForChunks(100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("expected single chunk [0,100), got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 serial call, got %d", calls)
+	}
+}
+
+func TestForChunksNestedDoesNotDeadlock(t *testing.T) {
+	restore := SetParallelism(4)
+	defer restore()
+	var total atomic.Int64
+	ForChunks(8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ForChunks(8, func(lo2, hi2 int) {
+				for j := lo2; j < hi2; j++ {
+					ForChunks(8, func(lo3, hi3 int) {
+						total.Add(int64(hi3 - lo3))
+					})
+				}
+			})
+		}
+	})
+	if got := total.Load(); got != 8*8*8 {
+		t.Fatalf("nested ForChunks covered %d units, want %d", got, 8*8*8)
+	}
+}
+
+func TestForChunksTokensReturned(t *testing.T) {
+	restore := SetParallelism(4)
+	defer restore()
+	for round := 0; round < 50; round++ {
+		ForChunks(16, func(lo, hi int) {})
+	}
+	if got := Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d after repeated ForChunks, want 4", got)
+	}
+	// All three helper tokens must be back in the bucket.
+	if free := len(cur.Load().ch); free != 3 {
+		t.Fatalf("%d helper tokens free after ForChunks rounds, want 3", free)
+	}
+}
+
+func TestDoRunsBoth(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		restore := SetParallelism(workers)
+		var a, b atomic.Bool
+		Do(func() { a.Store(true) }, func() { b.Store(true) })
+		if !a.Load() || !b.Load() {
+			t.Fatalf("workers=%d: Do skipped a branch (a=%v b=%v)", workers, a.Load(), b.Load())
+		}
+		restore()
+	}
+}
+
+func TestDoTokensReturned(t *testing.T) {
+	restore := SetParallelism(2)
+	defer restore()
+	for round := 0; round < 50; round++ {
+		Do(func() {}, func() {})
+	}
+	if free := len(cur.Load().ch); free != 1 {
+		t.Fatalf("%d helper tokens free after Do rounds, want 1", free)
+	}
+}
+
+func TestConcurrentForChunksFromManyGoroutines(t *testing.T) {
+	restore := SetParallelism(4)
+	defer restore()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				ForChunks(100, func(lo, hi int) {
+					total.Add(int64(hi - lo))
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*20*100 {
+		t.Fatalf("covered %d units, want %d", got, 8*20*100)
+	}
+}

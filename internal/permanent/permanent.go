@@ -273,11 +273,12 @@ func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 			if neg {
 				sign = f.Neg(sign)
 			}
-			prod := sign
+			// 4-wide unrolled lazy sweep: the row sums go into the
+			// multiplier unreduced (< 2q). Evaluate keeps the scalar
+			// canonical sweep, so the block/point equivalence tests double
+			// as a differential check of the lazy variant.
 			base := xi * n
-			for i := 0; i < n && prod != 0; i++ {
-				prod = ff.MulK(prod, f.Add(rowP[base+i], rowS[i]), k)
-			}
+			prod := ff.ProdSumLazy(sign, rowP[base:base+n], rowS[:n], k)
 			totals[xi] = f.Add(totals[xi], prod)
 		}
 		if iter+1 == 1<<uint(rest) {

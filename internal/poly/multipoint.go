@@ -6,10 +6,22 @@ package poly
 // Reed–Solomon encoding (evaluation) and the Gao decoder's first step
 // (interpolation of the received word).
 
+import (
+	"camelot/internal/ff"
+	"camelot/internal/par"
+)
+
 // fastThreshold is the point count below which naive O(d^2) evaluation /
 // Lagrange interpolation is used directly (the tree overhead dominates
 // below it).
 const fastThreshold = 64
+
+// parSpanMin is the subtree span (leaf count) from which the recursive
+// tree walks fork their two children onto par workers; below it the
+// token bookkeeping costs more than the subtree. The walks degrade to
+// plain serial recursion when every worker is busy (par.Do is
+// non-blocking), so nesting inside an already-parallel decode is safe.
+const parSpanMin = 4 * fastThreshold
 
 // subproductTree holds Π(x - x_i) over binary ranges of the point set.
 // Node k covers the points of its leaves; tree[1] is the full product.
@@ -30,8 +42,23 @@ func (r *Ring) newSubproductTree(points []uint64) *subproductTree {
 			t.node[size+i] = []uint64{1}
 		}
 	}
-	for k := size - 1; k >= 1; k-- {
-		t.node[k] = r.Mul(t.node[2*k], t.node[2*k+1])
+	// Nodes within one level are independent; levels go bottom-up. Each
+	// level is split across par workers once it has enough nodes to
+	// amortize the fork (near the root the per-node products are large,
+	// but Mul itself parallelizes through the NTT).
+	for levelLo := size / 2; levelLo >= 1; levelLo /= 2 {
+		width := levelLo // nodes levelLo .. 2*levelLo-1
+		if width >= 4 && par.Parallelism() > 1 {
+			par.ForChunks(width, func(clo, chi int) {
+				for k := levelLo + clo; k < levelLo+chi; k++ {
+					t.node[k] = r.Mul(t.node[2*k], t.node[2*k+1])
+				}
+			})
+		} else {
+			for k := levelLo; k < 2*levelLo; k++ {
+				t.node[k] = r.Mul(t.node[2*k], t.node[2*k+1])
+			}
+		}
 	}
 	return t
 }
@@ -76,6 +103,15 @@ func (r *Ring) evalDown(t *subproductTree, k int, p []uint64, out []uint64, off,
 		}
 		return
 	}
+	// The children read rem (DivMod copies; nothing is mutated) and write
+	// disjoint halves of out, so they can run concurrently.
+	if span >= parSpanMin && par.Parallelism() > 1 {
+		par.Do(
+			func() { r.evalDown(t, 2*k, rem, out, off, span/2) },
+			func() { r.evalDown(t, 2*k+1, rem, out, off+span/2, span/2) },
+		)
+		return
+	}
 	r.evalDown(t, 2*k, rem, out, off, span/2)
 	r.evalDown(t, 2*k+1, rem, out, off+span/2, span/2)
 }
@@ -98,9 +134,7 @@ func (r *Ring) Interpolate(points, values []uint64) []uint64 {
 	denom := r.EvalMany(dm, points)
 	r.f.BatchInv(denom)
 	coeffs := make([]uint64, len(points))
-	for i := range coeffs {
-		coeffs[i] = r.f.Mul(values[i], denom[i])
-	}
+	ff.MulVecK(coeffs, values, denom, r.f.Kernel())
 	return Trim(r.combineUp(t, 1, coeffs, 0, nttSize(len(points))))
 }
 
@@ -112,8 +146,17 @@ func (r *Ring) combineUp(t *subproductTree, k int, c []uint64, off, span int) []
 	if span == 1 {
 		return []uint64{c[off]}
 	}
-	left := r.combineUp(t, 2*k, c, off, span/2)
-	right := r.combineUp(t, 2*k+1, c, off+span/2, span/2)
+	var left, right []uint64
+	if span >= parSpanMin && par.Parallelism() > 1 {
+		// The children only read t and c; their results are combined here.
+		par.Do(
+			func() { left = r.combineUp(t, 2*k, c, off, span/2) },
+			func() { right = r.combineUp(t, 2*k+1, c, off+span/2, span/2) },
+		)
+	} else {
+		left = r.combineUp(t, 2*k, c, off, span/2)
+		right = r.combineUp(t, 2*k+1, c, off+span/2, span/2)
+	}
 	// left * rightProduct + right * leftProduct
 	lp := r.Mul(left, t.node[2*k+1])
 	rp := r.Mul(right, t.node[2*k])
@@ -161,5 +204,13 @@ func (r *Ring) productRange(roots []uint64, lo, hi int) []uint64 {
 		return []uint64{r.f.Neg(roots[lo]), 1}
 	}
 	mid := (lo + hi) / 2
+	if hi-lo >= parSpanMin && par.Parallelism() > 1 {
+		var left, right []uint64
+		par.Do(
+			func() { left = r.productRange(roots, lo, mid) },
+			func() { right = r.productRange(roots, mid, hi) },
+		)
+		return r.Mul(left, right)
+	}
 	return r.Mul(r.productRange(roots, lo, mid), r.productRange(roots, mid, hi))
 }

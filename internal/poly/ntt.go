@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"camelot/internal/ff"
+	"camelot/internal/par"
 )
 
 // nttSize returns the smallest power of two >= n.
@@ -135,16 +136,19 @@ func (r *Ring) mulNTT(a, b []uint64, n int) []uint64 {
 	fb := (*fbp)[:n]
 	copy(fb, b)
 	clear(fb[len(b):])
-	transform(f, fa, p, p.fwd)
-	transform(f, fb, p, p.fwd)
-	for i := range fa {
-		fa[i] = ff.MulK(fa[i], fb[i], k)
-	}
+	transformLazy(f, fa, p, p.fwd)
+	transformLazy(f, fb, p, p.fwd)
+	// Pointwise product. MulK shifts its second operand, which must
+	// therefore be canonical: fb is reduced out of the lazy range, while
+	// fa rides the lazy first-operand slot (< 4q) untouched. The products
+	// come out canonical, so the inverse transform starts clean.
+	ff.ReduceVec4Q(fb, f.Q)
+	ff.MulVecK(fa, fa, fb, k)
 	p.bufs.Put(fbp)
-	transform(f, fa, p, p.inv)
-	for i := range fa {
-		fa[i] = ff.MulKS(fa[i], p.invN, k)
-	}
+	transformLazy(f, fa, p, p.inv)
+	// Scale by 1/n (invN is stored pre-shifted); fa's lazy entries feed
+	// the first-operand slot, and the sweep emits canonical values.
+	ff.MulVecKS(fa, fa, p.invN, k)
 	return fa[:len(a)+len(b)-1]
 }
 
@@ -164,6 +168,10 @@ func (r *Ring) rootOfOrder(n int) uint64 {
 // a (length p.n) with the given stage twiddle table (p.fwd or p.inv).
 // The butterfly loop runs on the hoisted reduction kernel so the field
 // multiply inlines (see ff.MulK).
+//
+// transform is the fully-canonical reference path: transformLazy below
+// is differentially tested against it (TestTransformLazyMatchesReference)
+// and replaces it in mulNTT.
 func transform(f ff.Field, a []uint64, p *nttPlan, tw []uint64) {
 	n := p.n
 	k := f.Kernel()
@@ -196,5 +204,111 @@ func transform(f ff.Field, a []uint64, p *nttPlan, tw []uint64) {
 			}
 		}
 		off += half
+	}
+}
+
+// nttParallelMin is the transform size from which stage splitting across
+// par workers pays for itself; below it the fork/join overhead dominates
+// a stage's ~n/2 butterflies.
+const nttParallelMin = 4096
+
+// transformLazy is the production transform: same stage structure as
+// transform, but with Harvey-style lazy butterflies that keep residues
+// in [0, 4q) instead of canonicalizing after every operation, 4-wide
+// unrolled inner loops, and stages split across par workers for large
+// sizes. Canonical input yields output in the lazy range [0, 4q);
+// callers reduce (ff.ReduceVec4Q) or exploit the lazy first-operand
+// slot of ff.MulK (see mulNTT). Residues agree with transform mod q at
+// every index.
+//
+// Per butterfly, with u = lo reduced into [0, 2q) and t = hi·w (< q,
+// canonical — hi < 4q rides MulKS's lazy first-operand budget):
+//
+//	lo' = u + t        < 3q
+//	hi' = u + 2q - t   in (0, 4q)
+//
+// so the [0, 4q) invariant is maintained stage over stage.
+//
+// Work splitting: a stage is a barrier (stage s+1 reads what stage s
+// wrote) but its butterflies are independent. Early stages have many
+// blocks and short twiddle runs — they split by block; late stages have
+// few long blocks — they split the twiddle range inside each block.
+func transformLazy(f ff.Field, a []uint64, p *nttPlan, tw []uint64) {
+	n := p.n
+	k := f.Kernel()
+	twoQ := 2 * f.Q
+	for i, ri := range p.rev {
+		if int32(i) < ri {
+			a[i], a[ri] = a[ri], a[i]
+		}
+	}
+	workers := par.Parallelism()
+	parallel := n >= nttParallelMin && workers > 1
+	off := 0
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		ws := tw[off : off+half]
+		blocks := n / length
+		switch {
+		case !parallel:
+			for start := 0; start < n; start += length {
+				lazyButterflies(a[start:start+half:start+half], a[start+half:start+length:start+length], ws, twoQ, k)
+			}
+		case blocks >= workers:
+			par.ForChunks(blocks, func(blo, bhi int) {
+				for b := blo; b < bhi; b++ {
+					start := b * length
+					lazyButterflies(a[start:start+half:start+half], a[start+half:start+length:start+length], ws, twoQ, k)
+				}
+			})
+		default:
+			for start := 0; start < n; start += length {
+				lo := a[start : start+half : start+half]
+				hi := a[start+half : start+length : start+length]
+				par.ForChunks(half, func(jlo, jhi int) {
+					lazyButterflies(lo[jlo:jhi], hi[jlo:jhi], ws[jlo:jhi], twoQ, k)
+				})
+			}
+		}
+		off += half
+	}
+}
+
+// lazyButterflies applies one stage's butterflies to paired slices
+// (lo[j], hi[j]) with twiddles ws[j], maintaining the [0, 4q) lazy
+// invariant. The 4-wide unroll overlaps the independent reduction
+// chains; see ff/vec.go for the idiom.
+func lazyButterflies(lo, hi, ws []uint64, twoQ uint64, k ff.Kernel) {
+	n := len(ws)
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		u0, u1, u2, u3 := lo[j], lo[j+1], lo[j+2], lo[j+3]
+		if u0 >= twoQ {
+			u0 -= twoQ
+		}
+		if u1 >= twoQ {
+			u1 -= twoQ
+		}
+		if u2 >= twoQ {
+			u2 -= twoQ
+		}
+		if u3 >= twoQ {
+			u3 -= twoQ
+		}
+		t0 := ff.MulKS(hi[j], ws[j], k)
+		t1 := ff.MulKS(hi[j+1], ws[j+1], k)
+		t2 := ff.MulKS(hi[j+2], ws[j+2], k)
+		t3 := ff.MulKS(hi[j+3], ws[j+3], k)
+		lo[j], lo[j+1], lo[j+2], lo[j+3] = u0+t0, u1+t1, u2+t2, u3+t3
+		hi[j], hi[j+1], hi[j+2], hi[j+3] = u0+twoQ-t0, u1+twoQ-t1, u2+twoQ-t2, u3+twoQ-t3
+	}
+	for ; j < n; j++ {
+		u := lo[j]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		t := ff.MulKS(hi[j], ws[j], k)
+		lo[j] = u + t
+		hi[j] = u + twoQ - t
 	}
 }

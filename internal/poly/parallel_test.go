@@ -1,0 +1,137 @@
+package poly
+
+// Equivalence tests for the lazy/parallel arithmetic paths (satellite of
+// ISSUE 6): transformLazy against the canonical reference transform, and
+// every parallel tree walk against its serial execution, bit for bit.
+// CI's -race leg runs these with real goroutine interleavings.
+
+import (
+	"math/rand"
+	"testing"
+
+	"camelot/internal/ff"
+	"camelot/internal/par"
+)
+
+func TestTransformLazyMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		restore := par.SetParallelism(workers)
+		for _, n := range []int{2, 4, 8, 64, 512, 4096, 8192} {
+			r := testRing(t)
+			f := r.f
+			rng := rand.New(rand.NewSource(int64(n)))
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = rng.Uint64() % f.Q
+			}
+			p := r.plan(n)
+			for _, tw := range [][]uint64{p.fwd, p.inv} {
+				want := make([]uint64, n)
+				copy(want, a)
+				transform(f, want, p, tw)
+				got := make([]uint64, n)
+				copy(got, a)
+				transformLazy(f, got, p, tw)
+				ff.ReduceVec4Q(got, f.Q)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d n=%d: transformLazy[%d] = %d, reference %d", workers, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+		restore()
+	}
+}
+
+// TestTransformLazyRangeInvariant checks the documented [0, 4q) bound on
+// lazy residues, which the pointwise-product stage of mulNTT relies on.
+func TestTransformLazyRangeInvariant(t *testing.T) {
+	n := 8192
+	r := testRing(t)
+	f := r.f
+	rng := rand.New(rand.NewSource(99))
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % f.Q
+	}
+	p := r.plan(n)
+	transformLazy(f, a, p, p.fwd)
+	for i, v := range a {
+		if v >= 4*f.Q {
+			t.Fatalf("lazy residue a[%d] = %d breaks the [0,4q) invariant (q=%d)", i, v, f.Q)
+		}
+	}
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	r := testRing(t)
+	rng := rand.New(rand.NewSource(5))
+	a := make([]uint64, 6000)
+	b := make([]uint64, 5000)
+	for i := range a {
+		a[i] = rng.Uint64() % r.f.Q
+	}
+	for i := range b {
+		b[i] = rng.Uint64() % r.f.Q
+	}
+	restore := par.SetParallelism(1)
+	want := r.Mul(a, b)
+	restore()
+	restore = par.SetParallelism(4)
+	got := r.Mul(a, b)
+	restore()
+	if len(got) != len(want) {
+		t.Fatalf("parallel Mul length %d, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parallel Mul[%d] = %d, serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvalManyInterpolateParallelMatchesSerial(t *testing.T) {
+	r := testRing(t)
+	rng := rand.New(rand.NewSource(21))
+	n := 2048
+	points := make([]uint64, n)
+	for i := range points {
+		points[i] = uint64(i)
+	}
+	coeffs := make([]uint64, 1500)
+	for i := range coeffs {
+		coeffs[i] = rng.Uint64() % r.f.Q
+	}
+
+	restore := par.SetParallelism(1)
+	wantVals := r.EvalMany(coeffs, points)
+	wantPoly := r.Interpolate(points, wantVals)
+	wantProd := r.ProductFromRoots(points)
+	restore()
+
+	restore = par.SetParallelism(4)
+	gotVals := r.EvalMany(coeffs, points)
+	gotPoly := r.Interpolate(points, gotVals)
+	gotProd := r.ProductFromRoots(points)
+	restore()
+
+	for i := range wantVals {
+		if gotVals[i] != wantVals[i] {
+			t.Fatalf("parallel EvalMany[%d] = %d, serial %d", i, gotVals[i], wantVals[i])
+		}
+	}
+	if len(gotPoly) != len(wantPoly) {
+		t.Fatalf("parallel Interpolate length %d, serial %d", len(gotPoly), len(wantPoly))
+	}
+	for i := range wantPoly {
+		if gotPoly[i] != wantPoly[i] {
+			t.Fatalf("parallel Interpolate[%d] = %d, serial %d", i, gotPoly[i], wantPoly[i])
+		}
+	}
+	for i := range wantProd {
+		if gotProd[i] != wantProd[i] {
+			t.Fatalf("parallel ProductFromRoots[%d] = %d, serial %d", i, gotProd[i], wantProd[i])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package rs
+
+// Parallel-vs-serial equivalence for the Gao decoder (satellite of
+// ISSUE 6): the decode pipeline (interpolation, subproduct trees,
+// EvalMany) picks up parallelism from internal/par through poly, and
+// exact modular arithmetic means the parallel execution must reproduce
+// the serial result bit for bit — message, corrected word, and error
+// locations alike. CI's -race leg runs this with real interleavings.
+
+import (
+	"math/rand"
+	"testing"
+
+	"camelot/internal/par"
+)
+
+func TestDecodeParallelMatchesSerial(t *testing.T) {
+	e, d := 2048, 1500
+	c := newTestCode(t, e, d)
+	rng := rand.New(rand.NewSource(31))
+	f := c.Field()
+	msg := randMessage(rng, f, d)
+
+	restore := par.SetParallelism(1)
+	encoded, err := c.Encode(msg)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make([]uint64, e)
+	copy(received, encoded)
+	// Stay within the erasure-adjusted budget 2·errors + erasures ≤ e-d-1
+	// so both decode legs succeed rather than failing in tandem.
+	for i := 0; i < 200; i++ {
+		pos := rng.Intn(e)
+		received[pos] = (received[pos] + 1 + rng.Uint64()%(f.Q-1)) % f.Q
+	}
+	erased := []int{3, 99, 1044}
+
+	type result struct {
+		msg, corrected []uint64
+		locs           []int
+		err            error
+	}
+	run := func(workers int) (clean, erasedRes result, encodedW []uint64) {
+		restore := par.SetParallelism(workers)
+		defer restore()
+		encodedW, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, c1, l1, e1 := c.Decode(received)
+		m2, c2, l2, e2 := c.DecodeErasures(received, erased)
+		return result{m1, c1, l1, e1}, result{m2, c2, l2, e2}, encodedW
+	}
+
+	serialClean, serialErased, serialEnc := run(1)
+	parClean, parErased, parEnc := run(4)
+
+	for i := range serialEnc {
+		if parEnc[i] != serialEnc[i] {
+			t.Fatalf("parallel Encode[%d] = %d, serial %d", i, parEnc[i], serialEnc[i])
+		}
+	}
+	check := func(name string, got, want result) {
+		t.Helper()
+		if (got.err == nil) != (want.err == nil) {
+			t.Fatalf("%s: parallel err %v, serial err %v", name, got.err, want.err)
+		}
+		if want.err != nil {
+			return
+		}
+		for i := range want.msg {
+			if got.msg[i] != want.msg[i] {
+				t.Fatalf("%s: parallel message[%d] = %d, serial %d", name, i, got.msg[i], want.msg[i])
+			}
+		}
+		for i := range want.corrected {
+			if got.corrected[i] != want.corrected[i] {
+				t.Fatalf("%s: parallel corrected[%d] = %d, serial %d", name, i, got.corrected[i], want.corrected[i])
+			}
+		}
+		if len(got.locs) != len(want.locs) {
+			t.Fatalf("%s: parallel found %d error locations, serial %d", name, len(got.locs), len(want.locs))
+		}
+		for i := range want.locs {
+			if got.locs[i] != want.locs[i] {
+				t.Fatalf("%s: parallel errorLocs[%d] = %d, serial %d", name, i, got.locs[i], want.locs[i])
+			}
+		}
+		for i := range want.msg {
+			if got.msg[i] != msg[i] {
+				t.Fatalf("%s: decoded message[%d] = %d, original %d", name, i, got.msg[i], msg[i])
+			}
+		}
+	}
+	check("clean-decode", parClean, serialClean)
+	check("erasure-decode", parErased, serialErased)
+}

@@ -8,6 +8,8 @@ package setcover
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
+	"sync"
 
 	"camelot/internal/bipoly"
 	"camelot/internal/core"
@@ -154,12 +156,48 @@ func (p *ExactCoverProblem) RecoverPartitions(proof *core.Proof) (*big.Int, erro
 type CoverProblem struct {
 	family []uint64
 	n, t   int
-	// n1 is the number of D(x)-interpolated variables (2^{n1} grid);
-	// evaluation is self-contained, so no per-prime state is cached.
+	// n1 is the number of D(x)-interpolated variables (2^{n1} grid).
 	n1, n2 int
+	// planOnce lazily builds the modulus- and point-independent suffix
+	// plan used by EvaluateBlock; Evaluate stays self-contained.
+	planOnce sync.Once
+	plan     coverPlan
+}
+
+// coverPlan is the x0- and q-independent structure of the 2^{n2} suffix
+// sweep in eq. (46): for each assignment of the last n2 indicator
+// variables, only family sets whose high part is contained in the suffix
+// contribute a nonzero product, and the suffix's own (1-2y_j) factors
+// collapse to (-1)^popcount(suffix).
+type coverPlan struct {
+	// prefixes[suffix] lists, in family order, the low-n1-bit masks of
+	// the sets surviving that suffix.
+	prefixes [][]uint64
+	// negate[suffix] reports whether popcount(suffix) is odd, i.e.
+	// whether the suffix flips the sign of the term.
+	negate []bool
+}
+
+func (p *CoverProblem) buildPlan() {
+	nSuffix := 1 << uint(p.n2)
+	prefixes := make([][]uint64, nSuffix)
+	negate := make([]bool, nSuffix)
+	low := uint64(1)<<uint(p.n1) - 1
+	for suffix := uint64(0); suffix < uint64(nSuffix); suffix++ {
+		var surv []uint64
+		for _, x := range p.family {
+			if x>>uint(p.n1)&^suffix == 0 {
+				surv = append(surv, x&low)
+			}
+		}
+		prefixes[suffix] = surv
+		negate[suffix] = bits.OnesCount64(suffix)%2 == 1
+	}
+	p.plan = coverPlan{prefixes: prefixes, negate: negate}
 }
 
 var _ core.Problem = (*CoverProblem)(nil)
+var _ core.BatchProblem = (*CoverProblem)(nil)
 
 // NewCoverProblem builds the Theorem 9 Camelot problem.
 func NewCoverProblem(family []uint64, n, t int) (*CoverProblem, error) {
@@ -252,6 +290,79 @@ func (p *CoverProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 		total = f.Add(total, f.Mul(sign, f.Exp(inner, uint64(p.t))))
 	}
 	return []uint64{total}, nil
+}
+
+// EvaluateBlock implements core.BatchProblem. It produces bit-identical
+// rows to Evaluate (exact modular arithmetic: dropping the zero products
+// of non-surviving sets and the unit factors of suffix variables set to 1
+// cannot change any value) while amortizing two costs across the block:
+// the Lagrange evaluator's factorial/inverse setup, and the per-suffix
+// family filtering, which the cached coverPlan hoists out of the
+// per-point loop entirely.
+func (p *CoverProblem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, err
+	}
+	p.planOnce.Do(p.buildPlan)
+	le := f.NewLagrangeEvaluatorZeroBased(1 << uint(p.n1))
+	phi := make([]uint64, 1<<uint(p.n1))
+	// Per point: D_j(x0) for the first n1 variables, plus the fixed part
+	// of the sign, (-1)^n Π_{j<n1}(1-2y_j).
+	ys := make([][]uint64, len(xs))
+	signs := make([]uint64, len(xs))
+	for xi, x0 := range xs {
+		le.At(x0, phi)
+		y := make([]uint64, p.n1)
+		for i, v := range phi {
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < p.n1; j++ {
+				if i&(1<<uint(j)) != 0 {
+					y[j] = f.Add(y[j], v)
+				}
+			}
+		}
+		sign := uint64(1)
+		if p.n%2 == 1 {
+			sign = f.Neg(sign)
+		}
+		for j := 0; j < p.n1; j++ {
+			sign = f.Mul(sign, f.Sub(1, f.Mul(2%f.Q, y[j])))
+		}
+		ys[xi] = y
+		signs[xi] = sign
+	}
+	totals := make([]uint64, len(xs))
+	for suffix, surv := range p.plan.prefixes {
+		for xi := range xs {
+			sign := signs[xi]
+			if sign == 0 {
+				continue
+			}
+			if p.plan.negate[suffix] {
+				sign = f.Neg(sign)
+			}
+			y := ys[xi]
+			inner := uint64(0)
+			for _, pm := range surv {
+				prod := uint64(1)
+				for m := pm; m != 0 && prod != 0; {
+					j := trailingZeros(m)
+					m &= m - 1
+					prod = f.Mul(prod, y[j])
+				}
+				inner = f.Add(inner, prod)
+			}
+			totals[xi] = f.Add(totals[xi], f.Mul(sign, f.Exp(inner, uint64(p.t))))
+		}
+	}
+	rows := make([][]uint64, len(xs))
+	for xi, total := range totals {
+		rows[xi] = []uint64{total}
+	}
+	return rows, nil
 }
 
 // RecoverCovers extracts the cover count: c_t = Σ_{i=0}^{2^{n1}-1} P(i)

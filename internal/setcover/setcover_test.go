@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"camelot/internal/core"
+	"camelot/internal/ff"
 )
 
 // randomFamily draws nonempty subsets of [n] without repetition concerns.
@@ -125,6 +126,53 @@ func TestCoverCamelotMatchesIE(t *testing.T) {
 		}
 		if got.Cmp(want) != 0 {
 			t.Fatalf("t=%d: camelot=%v IE=%v", tt, got, want)
+		}
+	}
+}
+
+// TestEvaluateBlockMatchesEvaluate pins the BatchProblem contract:
+// EvaluateBlock must reproduce Evaluate bit-for-bit, including at grid
+// points (indicator-vector Lagrange basis), points beyond the grid, and
+// families with duplicate or overlapping sets.
+func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fams := map[string][]uint64{
+		"random7":   randomFamily(rng, 7, 6),
+		"dupes5":    {0b10101, 0b10101, 0b00011, 0b11000, 0b00100},
+		"single6":   {0b111111},
+		"overlaps6": randomFamily(rng, 6, 10),
+	}
+	for name, fam := range fams {
+		n := 7
+		if name != "random7" {
+			n = 6
+			if name == "dupes5" {
+				n = 5
+			}
+		}
+		for _, tt := range []int{1, 3} {
+			p, err := NewCoverProblem(fam, n, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := ff.NextPrime(p.MinModulus())
+			xs := []uint64{0, 1, 2, uint64(1)<<uint(p.n1) - 1, 1 << uint(p.n1), 777, q - 1}
+			rows, err := p.EvaluateBlock(q, xs)
+			if err != nil {
+				t.Fatalf("%s t=%d: EvaluateBlock: %v", name, tt, err)
+			}
+			if len(rows) != len(xs) {
+				t.Fatalf("%s t=%d: got %d rows, want %d", name, tt, len(rows), len(xs))
+			}
+			for i, x0 := range xs {
+				want, err := p.Evaluate(q, x0)
+				if err != nil {
+					t.Fatalf("%s t=%d: Evaluate(%d): %v", name, tt, x0, err)
+				}
+				if len(rows[i]) != len(want) || rows[i][0] != want[0] {
+					t.Fatalf("%s t=%d x0=%d: block=%v point=%v", name, tt, x0, rows[i], want)
+				}
+			}
 		}
 	}
 }

@@ -43,6 +43,26 @@ func VerifyProofContext(ctx context.Context, p Problem, proof *Proof, trials int
 	return core.VerifyProofContext(ctx, p, proof, trials, seed)
 }
 
+// VerifyProofBatch is the batched ingest check: one random-linear-
+// combination fold plus a single Horner evaluation per prime verifies
+// that the proof's stored codeword evaluations are exactly the
+// evaluations of its coefficient vectors — without touching the problem
+// instance at all. It is the cheap structural gate for accepting proofs
+// wholesale (a proof service's ingest path); VerifyProof remains the
+// audit-grade check tying the proof to the input. One call wrongly
+// accepts an inconsistent proof with probability at most
+// (Width-1 + max(d, e-1))/q per prime; see core.VerifyProofBatch for
+// the argument.
+func VerifyProofBatch(proof *Proof, seed int64) (bool, error) {
+	return core.VerifyProofBatch(proof, seed)
+}
+
+// VerifyProofBatchContext is VerifyProofBatch with cancellation,
+// observed between primes.
+func VerifyProofBatchContext(ctx context.Context, proof *Proof, seed int64) (bool, error) {
+	return core.VerifyProofBatchContext(ctx, proof, seed)
+}
+
 // CountCliques counts the k-cliques of g (k divisible by 6) with the
 // Theorem 1 Camelot algorithm: proof size and per-node time O(n^{ωk/6}),
 // matching the best sequential total.

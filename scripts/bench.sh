@@ -1,65 +1,94 @@
 #!/usr/bin/env bash
-# bench.sh — run the arithmetic-layer microbenchmarks, the headline
-# end-to-end benchmarks (E12 Gao decode, E14 batch evaluation), and the
-# session-layer job-throughput comparison (one warm cluster vs
-# sequential core.Run, concurrent vs sequential Tutte FK lines), and
-# emit the results as BENCH_<n>.json at the repository root, seeding the
-# perf-trajectory record that PR descriptions quote.
+# bench.sh — run the arithmetic-layer microbenchmarks and the headline
+# end-to-end benchmarks (E12 Gao decode, E14 batch evaluation, E16
+# batched verification) at GOMAXPROCS=1 and GOMAXPROCS=NumCPU, plus the
+# session-layer job-throughput comparison, and emit the results as
+# BENCH_<n>.json at the repository root — the perf-trajectory record
+# that PR descriptions quote. Each entry records the gomaxprocs it ran
+# under; the ratios block derives the parallel speedups (multi-core vs
+# this run's own serial numbers, and vs the BENCH_2 serial baselines)
+# and the batch-vs-perpoint wins. On a 1-CPU host the two passes
+# coincide and the parallel speedups come out ~1.0 by construction.
 #
 # Usage: scripts/bench.sh [N]
-#   N        suffix for BENCH_N.json (default 3)
+#   N        suffix for BENCH_N.json (default 4)
 #   BENCHTIME  overrides the go benchtime (default 2s for micro, 10x for e2e)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-3}"
+N="${1:-4}"
 MICRO_TIME="${BENCHTIME:-2s}"
 E2E_TIME="${BENCHTIME:-10x}"
 OUT="BENCH_${N}.json"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-echo "== field/NTT microbenchmarks (${MICRO_TIME})" >&2
-go test -run xxx \
-    -bench 'BenchmarkFieldMul|BenchmarkFieldExp|BenchmarkBatchInv|BenchmarkLagrangeEvaluatorAt|BenchmarkNTT/' \
-    -benchtime "$MICRO_TIME" ./internal/ff ./internal/poly | tee -a "$TMP" >&2
+NCPU="$(nproc)"
+GMP_LIST="1"
+if [ "$NCPU" -gt 1 ]; then
+    GMP_LIST="1 $NCPU"
+fi
 
-echo "== end-to-end benchmarks (${E2E_TIME})" >&2
-go test -run xxx -bench 'BenchmarkE12GaoDecode|BenchmarkE14' \
-    -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
+for GMP in $GMP_LIST; do
+    echo "== GOMAXPROCS $GMP" >> "$TMP"
+    echo "== field/NTT microbenchmarks (${MICRO_TIME}, GOMAXPROCS=${GMP})" >&2
+    GOMAXPROCS="$GMP" go test -run xxx \
+        -bench 'BenchmarkFieldMul|BenchmarkFieldExp|BenchmarkBatchInv|BenchmarkLagrangeEvaluatorAt|BenchmarkNTT/' \
+        -benchtime "$MICRO_TIME" ./internal/ff ./internal/poly | tee -a "$TMP" >&2
 
+    echo "== end-to-end benchmarks (${E2E_TIME}, GOMAXPROCS=${GMP})" >&2
+    GOMAXPROCS="$GMP" go test -run xxx \
+        -bench 'BenchmarkE12GaoDecode|BenchmarkE14|BenchmarkE16' \
+        -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
+done
+
+echo "== GOMAXPROCS $NCPU" >> "$TMP"
 echo "== session-layer job throughput (${E2E_TIME})" >&2
 go test -run xxx -bench 'BenchmarkJobs' \
     -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
 
-# Fold "Benchmark<name> <iters> <ns> ns/op ..." lines into JSON, and
-# derive the session-layer throughput ratios (sequential ns / cluster
-# ns — above 1 means the cluster wins; overlap gains require >1 CPU).
-awk -v host="$(uname -sm)" -v ncpu="$(nproc)" '
-BEGIN { n = 0 }
+# Fold "Benchmark<name> <iters> <ns> ns/op ..." lines into JSON. Entries
+# are keyed (name, gomaxprocs); the ratios block reports parallel
+# speedups (serial-this-run and BENCH_2-serial baselines over the
+# multi-core numbers — above 1 means the parallel path wins), the
+# batch-evaluation and batched-verification wins, and the session-layer
+# throughput ratios. BENCH_2 baselines (same host class, serial):
+# E12GaoDecode 34342827 ns, NTT/plan(n=4096) 361585 ns.
+awk -v host="$(uname -sm)" -v ncpu="$NCPU" '
+BEGIN { n = 0; g = 1 }
+/^== GOMAXPROCS / { g = $3 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op") { ns[n] = $i; nm[n] = name; n++; break }
+        if ($(i+1) == "ns/op") { ns[n] = $i; nm[n] = name; gp[n] = g; n++; break }
     }
 }
 END {
     printf "{\n  \"host\": \"%s\",\n  \"num_cpu\": %d,\n  \"benchmarks\": [\n", host, ncpu
     for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", nm[i], ns[i], (i < n-1 ? "," : "")
-        v[nm[i]] = ns[i]
+        printf "    {\"name\": \"%s\", \"gomaxprocs\": %d, \"ns_per_op\": %s}%s\n", nm[i], gp[i], ns[i], (i < n-1 ? "," : "")
+        v[nm[i] "@" gp[i]] = ns[i]
     }
-    printf "  ]"
-    cl = v["BenchmarkJobsClusterThroughput"]; sq = v["BenchmarkJobsSequentialRun"]
-    tc = v["BenchmarkJobsTutteConcurrentLines"]; ts = v["BenchmarkJobsTutteSequentialLines"]
-    if (cl > 0 && sq > 0) {
-        printf ",\n  \"ratios\": {\n"
-        printf "    \"cluster_jobs_per_sec_vs_sequential\": %.3f", sq / cl
-        if (tc > 0 && ts > 0) printf ",\n    \"tutte_concurrent_vs_sequential\": %.3f", ts / tc
-        printf "\n  }"
-    }
-    printf "\n}\n"
+    printf "  ],\n  \"ratios\": {\n"
+    sep = ""
+    gao1 = v["BenchmarkE12GaoDecode@1"]; gaoN = v["BenchmarkE12GaoDecode@" ncpu]
+    ntt1 = v["BenchmarkNTT/plan@1"];     nttN = v["BenchmarkNTT/plan@" ncpu]
+    if (gao1 > 0 && gaoN > 0) { printf "%s    \"e12_gao_decode_parallel_speedup\": %.3f", sep, gao1 / gaoN; sep = ",\n" }
+    if (gaoN > 0)             { printf "%s    \"e12_gao_decode_speedup_vs_bench2\": %.3f", sep, 34342827 / gaoN; sep = ",\n" }
+    if (ntt1 > 0 && nttN > 0) { printf "%s    \"ntt_parallel_speedup\": %.3f", sep, ntt1 / nttN; sep = ",\n" }
+    if (nttN > 0)             { printf "%s    \"ntt_speedup_vs_bench2\": %.3f", sep, 361585 / nttN; sep = ",\n" }
+    vb = v["BenchmarkE16VerifyProofBatch/batch@" ncpu]; vp = v["BenchmarkE16VerifyProofBatch/perpoint@" ncpu]
+    if (vb > 0 && vp > 0) { printf "%s    \"verify_batch_vs_perpoint\": %.3f", sep, vp / vb; sep = ",\n" }
+    cb = v["BenchmarkE14BatchChromatic/batch@" ncpu]; cp = v["BenchmarkE14BatchChromatic/perpoint@" ncpu]
+    if (cb > 0 && cp > 0) { printf "%s    \"chromatic_block_vs_perpoint\": %.3f", sep, cp / cb; sep = ",\n" }
+    sb = v["BenchmarkE14BatchSetCover/batch@" ncpu]; sp = v["BenchmarkE14BatchSetCover/perpoint@" ncpu]
+    if (sb > 0 && sp > 0) { printf "%s    \"setcover_block_vs_perpoint\": %.3f", sep, sp / sb; sep = ",\n" }
+    cl = v["BenchmarkJobsClusterThroughput@" ncpu]; sq = v["BenchmarkJobsSequentialRun@" ncpu]
+    tc = v["BenchmarkJobsTutteConcurrentLines@" ncpu]; ts = v["BenchmarkJobsTutteSequentialLines@" ncpu]
+    if (cl > 0 && sq > 0) { printf "%s    \"cluster_jobs_per_sec_vs_sequential\": %.3f", sep, sq / cl; sep = ",\n" }
+    if (tc > 0 && ts > 0) { printf "%s    \"tutte_concurrent_vs_sequential\": %.3f", sep, ts / tc; sep = ",\n" }
+    printf "\n  }\n}\n"
 }' "$TMP" > "$OUT"
 
 echo "wrote $OUT" >&2
