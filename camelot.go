@@ -377,6 +377,18 @@ func WithGatherGrace(d time.Duration) RunOption {
 	return runOption(func(rs *runSettings) { rs.opts.GatherGrace = d })
 }
 
+// WithMaxRepairRounds lets the run recover from delivery losses beyond
+// the Reed–Solomon budget: when the decode stage fails with
+// ErrDecodeFailure, up to n repair rounds re-assign the missing nodes'
+// point ranges to surviving nodes, re-gather over the same transport,
+// and retry the decode — turning a terminal failure into latency.
+// Repaired proofs are bit-identical to fault-free ones (evaluation is
+// deterministic in the point). Default 0: repair off. Requires
+// WithMaxErasures — a strict gather has no missing nodes to repair.
+func WithMaxRepairRounds(n int) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.MaxRepairRounds = n })
+}
+
 // WithStrassenTensor selects the rank-7 ⟨2,2,2⟩ decomposition
 // (ω = log2 7) for the matrix-multiplication-based designs. The default.
 func WithStrassenTensor() RunOption {

@@ -27,9 +27,12 @@
 // cross-shard relay, -dropnodes/-droprate/-duprate/-delayrate/-maxdelay
 // wrap the transport in a seeded lossy network, and -erasures/-grace
 // opt the run into the erasure-tolerant quorum gather that survives the
-// losses:
+// losses. -repair N allows up to N self-healing gather rounds when the
+// losses exceed even the erasure budget — surviving nodes recompute the
+// missing ranges and the decode is retried:
 //
 //	camelot triangles -n 48 -nodes 8 -faults 6 -shards 3 -dropnodes 2 -erasures 2
+//	camelot triangles -n 48 -nodes 8 -faults 1 -dropnodes 2,5 -erasures 2 -repair 1
 //
 // The -tcp/-listen flags carry the share broadcasts over real sockets
 // instead of an in-memory bus: -tcp gives the address senders dial (the
@@ -75,6 +78,7 @@ type commonFlags struct {
 	maxDelay                     time.Duration
 	erasures                     int
 	grace                        time.Duration
+	repair                       int
 
 	// Networked transport (NodeShares frames over TCP).
 	tcpAddr    string
@@ -98,6 +102,7 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.DurationVar(&cf.maxDelay, "maxdelay", 20*time.Millisecond, "upper bound on injected delivery delay")
 	fs.IntVar(&cf.erasures, "erasures", 0, "tolerate losing up to this many node broadcasts (decoded as erasures)")
 	fs.DurationVar(&cf.grace, "grace", 0, "erasure-tolerant gather grace timer (0 = framework default)")
+	fs.IntVar(&cf.repair, "repair", 0, "self-healing gather: retry decode failures with up to this many repair rounds (needs -erasures)")
 	fs.StringVar(&cf.tcpAddr, "tcp", "", "carry share broadcasts over TCP: senders dial (and the collector binds) this address")
 	fs.StringVar(&cf.listenAddr, "listen", "", "TCP collector bind address when it differs from -tcp; alone, a loopback cluster dialing the bound address (use 127.0.0.1:0 for an ephemeral port)")
 }
@@ -173,6 +178,12 @@ func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOpt
 	}
 	if cf.grace > 0 {
 		run = append(run, camelot.WithGatherGrace(cf.grace))
+	}
+	if cf.repair > 0 {
+		if cf.erasures <= 0 {
+			return nil, nil, fmt.Errorf("-repair needs -erasures N: a strict gather has no missing nodes to repair")
+		}
+		run = append(run, camelot.WithMaxRepairRounds(cf.repair))
 	}
 	if ids, err := parse(cf.lie); err != nil {
 		return nil, nil, err
@@ -440,6 +451,10 @@ func printReport(rep *camelot.Report) {
 	fmt.Printf("  problem        %s\n", rep.Problem)
 	fmt.Printf("  nodes          %d (byzantine: %v, identified: %v, undelivered: %v)\n",
 		rep.Nodes, rep.ByzantineNodes, rep.SuspectNodes, rep.MissingNodes)
+	if rep.RepairRounds > 0 {
+		fmt.Printf("  repair         %d round(s), recovered nodes %v\n",
+			rep.RepairRounds, rep.RepairedNodes)
+	}
 	fmt.Printf("  proof          degree %d, %d symbols over primes %v\n",
 		rep.Degree, rep.ProofSymbols, rep.Primes)
 	fmt.Printf("  codeword       %d points, tolerance %d, corrupted shares seen %d\n",

@@ -5,8 +5,11 @@
 // twice. The collector gathers by quorum instead of insisting on every
 // message, the decoders treat the lost Knights' coordinates as
 // Reed–Solomon erasures, and the proof still comes out bit-identical to
-// a calm-weather run. Then the storm worsens past the code's budget,
-// and the run fails loudly with a typed decode error instead of lying.
+// a calm-weather run. Then the storm worsens past the code's budget:
+// left alone, the run fails loudly with a typed decode error instead of
+// lying — but with a repair round allowed, surviving Knights recompute
+// the lost ranges and the same hurricane ends in the same proof, a
+// little later.
 package main
 
 import (
@@ -78,16 +81,40 @@ func main() {
 	}
 	fmt.Println("proofs agree bit for bit; delivery faults never entered the suspect list:", rep.SuspectNodes)
 
-	// Worse weather than the code can carry: drop most of the table.
-	job = cluster.Submit(ctx, p,
+	// Worse weather than the code can carry: with f=1 the budget is 2
+	// erasures, and the two dead Knights own far more coordinates than
+	// that. Without repair the run must refuse, honestly and typed.
+	hurricane := []camelot.RunOption{
 		camelot.WithSeed(5),
 		camelot.WithFaultTolerance(1),
-		camelot.WithMaxErasures(6),
-		camelot.WithGatherGrace(300*time.Millisecond),
-	)
+		camelot.WithMaxErasures(2),
+		camelot.WithGatherGrace(300 * time.Millisecond),
+	}
+	job = cluster.Submit(ctx, p, hurricane...)
 	if _, _, err = job.Wait(ctx); errors.Is(err, camelot.ErrDecodeFailure) {
 		fmt.Println("hurricane run: refused honestly —", err)
 	} else {
 		log.Fatalf("hurricane run: expected a typed decode failure, got %v", err)
 	}
+
+	// The same hurricane, one repair round allowed: the decode failure
+	// triggers a self-healing gather — surviving Knights recompute the
+	// dead Knights' ranges (evaluation is deterministic in the point, so
+	// the recomputed scrolls are the very scrolls the dead would have
+	// sent) and the retried decode succeeds with the bit-identical count.
+	job = cluster.Submit(ctx, p, append(hurricane, camelot.WithMaxRepairRounds(1))...)
+	proof, rep, err = job.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	healed, err := p.Count(proof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healed run: %v triangles — %d repair round(s) recovered Knights %v\n",
+		healed, rep.RepairRounds, rep.RepairedNodes)
+	if healed.Cmp(calm) != 0 {
+		log.Fatal("healed run disagrees with calm run")
+	}
+	fmt.Println("the storm beyond the budget became latency, not failure")
 }

@@ -35,12 +35,14 @@ type chaosScenario struct {
 	name           string
 	nodes, faults  int
 	maxErasures    int
+	repair         int // MaxRepairRounds (0: self-healing off)
 	grace          time.Duration
 	transport      func(seed int64, k int) Transport
 	adversary      func(seed int64) Adversary
 	wantErr        error // nil: run must succeed with the baseline proof
 	wantMissing    []int // exact MissingNodes to assert (nil skips)
 	wantSuspects   []int // exact SuspectNodes to assert (nil skips)
+	wantRepaired   []int // exact RepairedNodes to assert (nil skips)
 	skipDeliveryCk bool  // scenarios whose missing set is timing-dependent
 }
 
@@ -192,16 +194,98 @@ func chaosScenarios() []chaosScenario {
 			transport: lossy(LossyConfig{DropRate: 1}),
 			wantErr:   rs.ErrDecodeFailure,
 		},
+		// Node-churn weather: the same beyond-budget storms, now with the
+		// self-healing gather allowed to run. The dead links stay dead
+		// (fate is per physical sender), but repair re-assigns the dead
+		// nodes' ranges to survivors whose links are alive — so the run
+		// recovers the very loss it just refused, with the bit-identical
+		// proof the harness demands of every recovery.
+		{
+			// drop-beyond-budget (4 erasures vs budget 2), healed in one
+			// round: survivors 0,2,4 sponsor the ranges of 1 and 3.
+			name:  "repair-drop-beyond-budget",
+			nodes: 5, faults: 1, maxErasures: 2, repair: 1, grace: 2 * time.Second,
+			transport:    lossy(LossyConfig{DropNodes: []int{1, 3}}),
+			wantMissing:  []int{},
+			wantSuspects: []int{},
+			wantRepaired: []int{1, 3},
+		},
+		{
+			// The same healed storm across the cross-shard relay: the
+			// sharded transport must keep its relays alive for the
+			// follow-up round.
+			name:  "repair-sharded-beyond-budget",
+			nodes: 5, faults: 1, maxErasures: 2, repair: 1, grace: 2 * time.Second,
+			transport:    shardedLossy(2, LossyConfig{DropNodes: []int{1, 3}}),
+			wantMissing:  []int{},
+			wantSuspects: []int{},
+			wantRepaired: []int{1, 3},
+		},
+		{
+			// And over real sockets: the TCP collector must accept the
+			// repair round's frames on the same listener.
+			name:  "repair-tcp-beyond-budget",
+			nodes: 5, faults: 1, maxErasures: 2, repair: 1, grace: 2 * time.Second,
+			transport:    lossyTCP(LossyConfig{DropNodes: []int{1, 3}}),
+			wantMissing:  []int{},
+			wantSuspects: []int{},
+			wantRepaired: []int{1, 3},
+		},
+		{
+			// Morgana during the repair: node 3 lies (2 errors) while the
+			// network eats three broadcasts (6 erasures, 2·2+6 > 8). One
+			// repair round recovers the erasures — sponsored by honest
+			// survivors 0, 1, 2 — and the liar's errors then fit the
+			// budget alone, staying on the content-fault axis.
+			name:  "repair-adversary-plus-storm",
+			nodes: 8, faults: 4, maxErasures: 3, repair: 1, grace: 2 * time.Second,
+			transport:    lossy(LossyConfig{DropNodes: []int{5, 6, 7}, DupRate: 1}),
+			adversary:    func(seed int64) Adversary { return NewLyingNodes(uint64(seed), 3) },
+			wantMissing:  []int{},
+			wantSuspects: []int{3},
+			wantRepaired: []int{5, 6, 7},
+		},
+		{
+			// A byzantine *sponsor*: with nodes 1, 5, 6 lost, the liar 3
+			// is the third survivor and sponsors node 6's range — the
+			// adversary corrupts what node 3 computes and sends, so the
+			// repaired range arrives wrong and node 6's points decode as
+			// errors attributed to their owner. 4 error points (liar's
+			// own 2 plus the poisoned 2) still fit 2·4 ≤ 8: the decoder
+			// corrects them all and the proof stays bit-identical.
+			name:  "repair-byzantine-sponsor",
+			nodes: 8, faults: 4, maxErasures: 3, repair: 1, grace: 2 * time.Second,
+			transport:    lossy(LossyConfig{DropNodes: []int{1, 5, 6}}),
+			adversary:    func(seed int64) Adversary { return NewLyingNodes(uint64(seed), 3) },
+			wantMissing:  []int{},
+			wantSuspects: []int{3, 6},
+			wantRepaired: []int{1, 5, 6},
+		},
+		{
+			// Repair cannot conjure survivors: when the network loses
+			// everything there is no live link to sponsor a retry over,
+			// and the run must still end in the typed refusal rather
+			// than loop or hang.
+			name:  "total-loss-with-repair",
+			nodes: 4, faults: 1, maxErasures: 4, repair: 2, grace: 150 * time.Millisecond,
+			transport: lossy(LossyConfig{DropRate: 1}),
+			wantErr:   rs.ErrDecodeFailure,
+		},
 	}
 }
 
-// chaosObserver records the delivery-fault callback.
+// chaosObserver records the delivery-fault and repair callbacks.
 type chaosObserver struct {
 	nopObserver
 	deliveryFaults atomic.Int32
+	repairRounds   atomic.Int32
 }
 
 func (o *chaosObserver) DeliveryFaults(n int) { o.deliveryFaults.Store(int32(n)) }
+
+func (o *chaosObserver) RepairRound(round int, reassigned []int) {
+	o.repairRounds.Store(int32(round))
+}
 
 func sameInts(a, b []int) bool {
 	if len(a) != len(b) {
@@ -262,13 +346,14 @@ func TestChaosScenarios(t *testing.T) {
 				seed := base*1000003 + *chaosSeed
 				obs := &chaosObserver{}
 				opts := Options{
-					Nodes:          sc.nodes,
-					FaultTolerance: sc.faults,
-					MaxErasures:    sc.maxErasures,
-					GatherGrace:    sc.grace,
-					Seed:           seed,
-					NewTransport:   func(k int) Transport { return sc.transport(seed, k) },
-					Observer:       obs,
+					Nodes:           sc.nodes,
+					FaultTolerance:  sc.faults,
+					MaxErasures:     sc.maxErasures,
+					MaxRepairRounds: sc.repair,
+					GatherGrace:     sc.grace,
+					Seed:            seed,
+					NewTransport:    func(k int) Transport { return sc.transport(seed, k) },
+					Observer:        obs,
 				}
 				if sc.adversary != nil {
 					opts.Adversary = sc.adversary(seed)
@@ -299,8 +384,20 @@ func TestChaosScenarios(t *testing.T) {
 				if sc.wantSuspects != nil && !sameInts(rep.SuspectNodes, sc.wantSuspects) {
 					t.Fatalf("seed %d: SuspectNodes = %v, want %v", seed, rep.SuspectNodes, sc.wantSuspects)
 				}
+				if sc.wantRepaired != nil && !sameInts(rep.RepairedNodes, sc.wantRepaired) {
+					t.Fatalf("seed %d: RepairedNodes = %v, want %v", seed, rep.RepairedNodes, sc.wantRepaired)
+				}
+				if got, want := int(obs.repairRounds.Load()), rep.RepairRounds; got != want {
+					t.Fatalf("seed %d: observer saw %d repair rounds, report says %d", seed, got, want)
+				}
+				if sc.repair == 0 && rep.RepairRounds != 0 {
+					t.Fatalf("seed %d: repair disabled but report claims %d rounds", seed, rep.RepairRounds)
+				}
 				if !sc.skipDeliveryCk {
-					if got, want := int(obs.deliveryFaults.Load()), len(rep.MissingNodes); got != want {
+					// The observer's delivery-fault count is the round-0
+					// gather's view: everything repair later recovered plus
+					// whatever stayed missing.
+					if got, want := int(obs.deliveryFaults.Load()), len(rep.MissingNodes)+len(rep.RepairedNodes); got != want {
 						t.Fatalf("seed %d: observer saw %d delivery faults, report says %d", seed, got, want)
 					}
 				}

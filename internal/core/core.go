@@ -171,6 +171,16 @@ type Options struct {
 	// message arrivals before treating the stragglers as lost (default
 	// 2s when MaxErasures > 0). Ignored in strict mode.
 	GatherGrace time.Duration
+	// MaxRepairRounds bounds how many repair rounds the engine may run
+	// when the decode stage fails with erasures beyond the Reed–Solomon
+	// budget: each round re-assigns the missing nodes' point ranges to
+	// surviving nodes, re-gathers over the same transport, and retries
+	// the decode — converting a transport loss the budget cannot absorb
+	// into latency instead of a typed failure. Default 0: repair off,
+	// the run fails exactly as before. Requires MaxErasures > 0 (a
+	// strict gather has no missing nodes to repair; newEngine rejects
+	// the combination).
+	MaxRepairRounds int
 	// Pool, when non-nil, substitutes the session layer's shared
 	// long-lived worker pool for the per-run scheduler; MaxParallelism
 	// is then ignored (the pool's width was fixed at construction).
@@ -202,6 +212,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxErasures > 0 && o.GatherGrace <= 0 {
 		o.GatherGrace = 2 * time.Second
+	}
+	if o.MaxRepairRounds < 0 {
+		o.MaxRepairRounds = 0
 	}
 	return o
 }

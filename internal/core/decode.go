@@ -60,8 +60,14 @@ func decodeAsNode(ctx context.Context, recipient int, primes []uint64, plans []*
 				return nil, err
 			}
 			for _, sender := range shares {
+				// The adversary controls *nodes*, and what it corrupts is
+				// what a node computes and sends: keyed by the message's
+				// physical origin, so a byzantine survivor's repair of a
+				// dead node's range arrives corrupted, while an honest
+				// sponsor's repair of a byzantine-but-silent node's range
+				// arrives clean.
 				for x := sender.Lo; x < sender.Hi; x++ {
-					v, delivered := adv.Transform(sender.ID, recipient, q, c, x, sender.Vals[pi][c][x-sender.Lo])
+					v, delivered := adv.Transform(sender.Origin(), recipient, q, c, x, sender.Vals[pi][c][x-sender.Lo])
 					if !delivered {
 						v = 0 // suppressed share: decoder sees it as a (probable) error symbol
 					}

@@ -42,8 +42,18 @@ type Report struct {
 	SuspectNodes []int
 	// MissingNodes are the nodes whose share broadcasts never arrived —
 	// delivery faults, reported distinctly from the content-fault
-	// SuspectNodes. Their coordinates were decoded as erasures.
+	// SuspectNodes. Their coordinates were decoded as erasures. When
+	// repair rounds ran, this is the set still missing after the last
+	// round; nodes a repair recovered move to RepairedNodes.
 	MissingNodes []int
+	// RepairedNodes are the nodes whose lost broadcasts a repair round
+	// recovered: their point ranges were recomputed by surviving nodes
+	// and re-gathered, so their coordinates were decoded as ordinary
+	// symbols after all. Sorted ascending.
+	RepairedNodes []int
+	// RepairRounds is the number of self-healing gather rounds the run
+	// executed (0 when repair never triggered or was disabled).
+	RepairRounds int
 	// CorruptedShares is the largest number of error locations any single
 	// decoder observed (per prime and coordinate, maximized).
 	CorruptedShares int
@@ -76,6 +86,16 @@ type engine struct {
 	codes  []*rs.Code
 	report *Report
 	obs    Observer
+
+	// Transport state, owned for the whole run once stagePrepare builds
+	// it: repair rounds re-gather over the same instance, so the engine
+	// — not the gather — decides when the transport's world ends (see
+	// closeTransport). quorumTr is the same transport's quorum
+	// capability; keepOpen records that gathers must leave it alive for
+	// potential repair rounds.
+	tr       Transport
+	quorumTr QuorumGatherer
+	keepOpen bool
 }
 
 // newEngine validates the problem geometry, selects the proof moduli,
@@ -91,6 +111,12 @@ func newEngine(p Problem, opts Options) (*engine, error) {
 	k := opts.Nodes
 	if k > e {
 		k = e // more nodes than points is pointless; trailing nodes would idle
+	}
+	if opts.MaxRepairRounds > 0 && opts.MaxErasures <= 0 {
+		// A strict gather either hears every node or fails the run —
+		// there is never a missing set to repair, so the combination is
+		// a configuration mistake worth naming.
+		return nil, fmt.Errorf("MaxRepairRounds=%d requires MaxErasures > 0: only erasure-tolerant gathers produce repairable missing nodes", opts.MaxRepairRounds)
 	}
 	minQ := p.MinModulus()
 	if minQ < uint64(e)+1 {
@@ -145,7 +171,11 @@ func newEngine(p Problem, opts Options) (*engine, error) {
 // Run executes the full Camelot protocol for the problem: distributed
 // proof preparation on a bounded worker pool over opts.Nodes logical
 // nodes, per-node Gao decoding with failed-node identification,
-// cross-node agreement check, and randomized verification. It returns
+// cross-node agreement check, and randomized verification. When the
+// decode fails with erasures beyond the Reed–Solomon budget and
+// Options.MaxRepairRounds allows it, bounded repair rounds re-assign
+// the missing nodes' point ranges to survivors and retry — turning
+// delivery faults the budget cannot absorb into latency. It returns
 // the decoded proof even when verification fails (callers inspect the
 // error).
 func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) {
@@ -153,12 +183,21 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
+	// The engine owns the transport for the whole run — gathers in
+	// repair-capable runs leave it open between rounds.
+	defer en.closeTransport()
 	en.obs.Geometry(en.e*len(en.primes), en.k)
 	prep, err := en.stagePrepare(ctx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
 	proof, err := en.stageDecode(ctx, prep)
+	for round := 1; err != nil && en.canRepair(err, prep, round); round++ {
+		if rerr := en.stageRepair(ctx, prep, round); rerr != nil {
+			return nil, nil, fmt.Errorf("core: %s: repair round %d: %w", p.Name(), round, rerr)
+		}
+		proof, err = en.stageDecode(ctx, prep)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
@@ -166,6 +205,28 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 		return proof, en.report, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
 	return proof, en.report, nil
+}
+
+// canRepair decides whether a failed decode is worth another gather
+// round: repair must be enabled with rounds left, the failure must be
+// the typed beyond-budget refusal (anything else — cancellation, a
+// decoder bug — repair cannot fix), and there must be both missing
+// nodes to recompute and survivors to recompute them.
+func (en *engine) canRepair(err error, prep *prepared, round int) bool {
+	return round <= en.opts.MaxRepairRounds &&
+		en.keepOpen &&
+		errors.Is(err, rs.ErrDecodeFailure) &&
+		len(prep.missing) > 0 && len(prep.missing) < en.k
+}
+
+// closeTransport ends the transport's world for transports that have
+// one to end (sharded relays, a TCP listener). Repair-capable gathers
+// run with GatherSpec.KeepOpen, so teardown is the engine's job; for
+// everything else this is an idempotent no-op.
+func (en *engine) closeTransport() {
+	if c, ok := en.tr.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // runTasks executes indexed tasks on the session pool when one is
@@ -190,8 +251,10 @@ func (en *engine) execWidth() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// prepChunk is one prepare-stage task: a slice of one node's owned
-// point range for one prime.
+// prepChunk is one prepare-stage task: a slice of one owned point range
+// for one prime. node indexes the round's prepNode slice (which in
+// round 0 coincides with the owner's id; in a repair round it is just
+// the position among the ranges being repaired).
 type prepChunk struct {
 	node, prime int
 	lo, hi      int
@@ -237,116 +300,40 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 		return nil, err
 	}
 	en.obs.StageStart(StagePrepare)
-	tr := en.opts.NewTransport(en.k)
+	en.tr = en.opts.NewTransport(en.k)
 	quorumMode := en.opts.MaxErasures > 0
-	var quorumTr QuorumGatherer
 	if quorumMode {
 		var ok bool
-		if quorumTr, ok = tr.(QuorumGatherer); !ok {
+		if en.quorumTr, ok = en.tr.(QuorumGatherer); !ok {
 			return nil, fmt.Errorf("%w: MaxErasures=%d needs one, %T is not",
-				ErrQuorumUnsupported, en.opts.MaxErasures, tr)
+				ErrQuorumUnsupported, en.opts.MaxErasures, en.tr)
 		}
 	}
+	// Repair rounds re-gather over this same transport instance, so
+	// gathers must not tear it down on return.
+	en.keepOpen = quorumMode && en.opts.MaxRepairRounds > 0
 	parts := 1
 	if w := en.execWidth(); w > en.k {
 		parts = (w + en.k - 1) / en.k
 	}
-	nodes := make([]*prepNode, en.k)
+	nodes := make([]*prepNode, 0, en.k)
 	var chunks []prepChunk
 	for id := 0; id < en.k; id++ {
 		lo, hi := en.assign.Range(id)
-		st := &prepNode{msg: NodeShares{ID: id, Lo: lo, Hi: hi, Vals: make([][][]uint64, len(en.primes))}}
-		nodes[id] = st
-		n := 0
-		for pi := range en.primes {
-			st.msg.Vals[pi] = make([][]uint64, en.w)
-			for c := 0; c < en.w; c++ {
-				st.msg.Vals[pi][c] = make([]uint64, hi-lo)
-			}
-			for _, cut := range cutRange(lo, hi, parts) {
-				chunks = append(chunks, prepChunk{node: id, prime: pi, lo: cut[0], hi: cut[1]})
-				n++
-			}
-		}
-		st.remaining.Store(int32(n))
+		var st *prepNode
+		st, chunks = en.buildShareTasks(len(nodes), id, id, 0, lo, hi, parts, chunks)
+		nodes = append(nodes, st)
 	}
 	computeStart := time.Now()
-	// Failure on either side of the transport must cancel the other:
-	// a pool (Send) failure cancels the gather so the collector cannot
-	// wait forever on messages that will never arrive, and a gather
-	// failure cancels the senders so a bounded transport cannot leave
-	// them blocked on a dead collector.
-	sendCtx, cancelSend := context.WithCancel(ctx)
-	defer cancelSend()
-	gatherCtx, cancelGather := context.WithCancel(ctx)
-	defer cancelGather()
-	poolDone := make(chan error, 1)
-	// sendsDone tells a quorum gather that no further Send can occur,
-	// so a total-loss network ends in one grace period instead of
-	// waiting out the caller's context.
-	sendsDone := make(chan struct{})
-	go func() {
-		defer close(sendsDone)
-		err := en.runTasks(sendCtx, len(chunks), func(ti int) error {
-			ch := chunks[ti]
-			st := nodes[ch.node]
-			start := time.Now()
-			err := evaluateRangeInto(sendCtx, en.p, en.primes[ch.prime], ch.lo, ch.hi, en.w,
-				st.msg.Vals[ch.prime], st.msg.Lo, en.opts.BlockSize)
-			st.elapsedNS.Add(int64(time.Since(start)))
-			if err != nil {
-				return fmt.Errorf("node %d: %w", ch.node, err)
-			}
-			en.obs.PointsDone(ch.hi - ch.lo)
-			if st.remaining.Add(-1) == 0 {
-				// Last chunk of this node: the message is complete
-				// (every other chunk's write happened-before the
-				// counter reached zero), broadcast it.
-				st.msg.Elapsed = time.Duration(st.elapsedNS.Load())
-				return tr.Send(sendCtx, st.msg)
-			}
-			return nil
-		})
-		if err == nil {
-			// A transport may still hold accepted deliveries in flight
-			// (injected delays): conclude them before announcing
-			// SendsDone, and surface an asynchronous delivery failure
-			// exactly as a Send returning it would have.
-			if d, ok := tr.(SendDrainer); ok {
-				err = d.DrainSends(sendCtx)
-			}
-		}
-		if err != nil {
-			cancelGather()
-		}
-		poolDone <- err
-	}()
-	var msgs []NodeShares
-	var gatherErr error
-	if quorumMode {
-		msgs, gatherErr = quorumTr.GatherQuorum(gatherCtx, GatherSpec{
-			K:         en.k,
-			Quorum:    en.k - en.opts.MaxErasures,
-			Grace:     en.opts.GatherGrace,
-			SendsDone: sendsDone,
-		})
-	} else {
-		msgs, gatherErr = tr.Gather(gatherCtx, en.k)
-	}
-	// Either outcome ends the senders' world: after a failure the
-	// cancellation frees workers stuck on a dead collector; after a
-	// success any straggler still computing or sending is cut loose
-	// (strict gathers have heard every node by now, quorum gathers have
-	// decided to erase the rest).
-	cancelSend()
-	poolErr := <-poolDone
-	// Prefer the root cause over the cancellation it triggered on the
-	// other side.
-	if poolErr != nil && !errors.Is(poolErr, context.Canceled) {
-		return nil, poolErr
-	}
-	if gatherErr != nil {
-		return nil, gatherErr
+	msgs, err := en.runRound(ctx, nodes, chunks, GatherSpec{
+		K:        en.k,
+		Quorum:   en.k - en.opts.MaxErasures,
+		Grace:    en.opts.GatherGrace,
+		Round:    0,
+		KeepOpen: en.keepOpen,
+	}, quorumMode)
+	if err != nil {
+		return nil, err
 	}
 	if quorumMode {
 		// A node that reports an in-band failure contributed no shares,
@@ -365,7 +352,7 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 		}
 		msgs = kept
 	}
-	delivered, missing, err := collectShares(msgs, en.k)
+	delivered, missing, err := collectShares(msgs, en.k, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -412,6 +399,220 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 	}
 	en.report.ComputeWall = time.Since(computeStart)
 	return &prepared{shares: delivered, missing: missing}, nil
+}
+
+// buildShareTasks allocates the in-flight message for one owned point
+// range [lo, hi) — owner's id on the message, sponsor as the physical
+// sender, round tagging the gather it belongs to — and appends its
+// (prime, sub-range) chunk tasks. idx is the message's position in the
+// round's prepNode slice (what prepChunk.node indexes).
+func (en *engine) buildShareTasks(idx, owner, sponsor, round, lo, hi, parts int, chunks []prepChunk) (*prepNode, []prepChunk) {
+	st := &prepNode{msg: NodeShares{
+		ID: owner, From: sponsor, Round: round,
+		Lo: lo, Hi: hi,
+		Vals: make([][][]uint64, len(en.primes)),
+	}}
+	n := 0
+	for pi := range en.primes {
+		st.msg.Vals[pi] = make([][]uint64, en.w)
+		for c := 0; c < en.w; c++ {
+			st.msg.Vals[pi][c] = make([]uint64, hi-lo)
+		}
+		for _, cut := range cutRange(lo, hi, parts) {
+			chunks = append(chunks, prepChunk{node: idx, prime: pi, lo: cut[0], hi: cut[1]})
+			n++
+		}
+	}
+	st.remaining.Store(int32(n))
+	return st, chunks
+}
+
+// runRound drives one send/gather round over the run's transport: the
+// worker pool evaluates the chunks, each completed message is broadcast,
+// and the collector gathers under spec. Each round gets fresh send and
+// gather contexts scoped to this call — cancelling the round's senders
+// on return is what abandons its still-pending deliveries (a lossy
+// transport's delayed copies, say) so they cannot leak into a later
+// round's gather; the round filter in the quorum loop is the second
+// line of defense.
+func (en *engine) runRound(ctx context.Context, nodes []*prepNode, chunks []prepChunk, spec GatherSpec, quorumMode bool) ([]NodeShares, error) {
+	// Failure on either side of the transport must cancel the other:
+	// a pool (Send) failure cancels the gather so the collector cannot
+	// wait forever on messages that will never arrive, and a gather
+	// failure cancels the senders so a bounded transport cannot leave
+	// them blocked on a dead collector.
+	sendCtx, cancelSend := context.WithCancel(ctx)
+	defer cancelSend()
+	gatherCtx, cancelGather := context.WithCancel(ctx)
+	defer cancelGather()
+	poolDone := make(chan error, 1)
+	// sendsDone tells a quorum gather that no further Send can occur,
+	// so a total-loss network ends in one grace period instead of
+	// waiting out the caller's context.
+	sendsDone := make(chan struct{})
+	spec.SendsDone = sendsDone
+	go func() {
+		defer close(sendsDone)
+		err := en.runTasks(sendCtx, len(chunks), func(ti int) error {
+			chk := chunks[ti]
+			st := nodes[chk.node]
+			start := time.Now()
+			err := evaluateRangeInto(sendCtx, en.p, en.primes[chk.prime], chk.lo, chk.hi, en.w,
+				st.msg.Vals[chk.prime], st.msg.Lo, en.opts.BlockSize)
+			st.elapsedNS.Add(int64(time.Since(start)))
+			if err != nil {
+				return fmt.Errorf("node %d: %w", st.msg.Origin(), err)
+			}
+			en.obs.PointsDone(chk.hi - chk.lo)
+			if st.remaining.Add(-1) == 0 {
+				// Last chunk of this message: it is complete (every
+				// other chunk's write happened-before the counter
+				// reached zero), broadcast it.
+				st.msg.Elapsed = time.Duration(st.elapsedNS.Load())
+				return en.tr.Send(sendCtx, st.msg)
+			}
+			return nil
+		})
+		if err == nil {
+			// A transport may still hold accepted deliveries in flight
+			// (injected delays): conclude them before announcing
+			// SendsDone, and surface an asynchronous delivery failure
+			// exactly as a Send returning it would have. The drain
+			// covers this round's sends — repair rounds included —
+			// because it runs inside every round.
+			if d, ok := en.tr.(SendDrainer); ok {
+				err = d.DrainSends(sendCtx)
+			}
+		}
+		if err != nil {
+			cancelGather()
+		}
+		poolDone <- err
+	}()
+	var msgs []NodeShares
+	var gatherErr error
+	if quorumMode {
+		msgs, gatherErr = en.quorumTr.GatherQuorum(gatherCtx, spec)
+	} else {
+		msgs, gatherErr = en.tr.Gather(gatherCtx, spec.K)
+	}
+	// Either outcome ends the round's senders: after a failure the
+	// cancellation frees workers stuck on a dead collector; after a
+	// success any straggler still computing or sending is cut loose
+	// (strict gathers have heard every node by now, quorum gathers have
+	// decided to erase the rest).
+	cancelSend()
+	poolErr := <-poolDone
+	// Prefer the root cause over the cancellation it triggered on the
+	// other side.
+	if poolErr != nil && !errors.Is(poolErr, context.Canceled) {
+		return nil, poolErr
+	}
+	if gatherErr != nil {
+		return nil, gatherErr
+	}
+	return msgs, nil
+}
+
+// stageRepair is the self-healing gather: the decode stage has refused
+// (erasures beyond the Reed–Solomon budget), but the missing nodes'
+// point ranges are known, survivors are idle, and evaluation is
+// deterministic in (q, x0) — so a survivor recomputes exactly the
+// values the dead node would have sent, bit for bit. Each missing
+// range becomes one message carrying the dead owner's id (what the
+// decoders index by) sent by a sponsoring survivor (what the
+// transport's link faults attach to), sponsors rotating across rounds
+// so a round-robin neighbor with its own bad link does not doom every
+// retry. Recovered messages join prep.shares; whatever is still
+// missing stays erased for the decode retry to judge against the
+// budget.
+func (en *engine) stageRepair(ctx context.Context, prep *prepared, round int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	still := make(map[int]bool, len(prep.missing))
+	for _, id := range prep.missing {
+		still[id] = true
+	}
+	survivors := make([]int, 0, en.k-len(prep.missing))
+	for id := 0; id < en.k; id++ {
+		if !still[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	if len(survivors) == 0 {
+		// canRepair refuses this; keep the invariant locally too.
+		return fmt.Errorf("no surviving nodes to repair %d missing ranges", len(prep.missing))
+	}
+	en.obs.RepairRound(round, append([]int(nil), prep.missing...))
+	repairStart := time.Now()
+	parts := 1
+	if w := en.execWidth(); w > len(prep.missing) {
+		parts = (w + len(prep.missing) - 1) / len(prep.missing)
+	}
+	nodes := make([]*prepNode, 0, len(prep.missing))
+	var chunks []prepChunk
+	for i, id := range prep.missing {
+		sponsor := survivors[(i+round-1)%len(survivors)]
+		lo, hi := en.assign.Range(id)
+		var st *prepNode
+		st, chunks = en.buildShareTasks(len(nodes), id, sponsor, round, lo, hi, parts, chunks)
+		nodes = append(nodes, st)
+	}
+	msgs, err := en.runRound(ctx, nodes, chunks, GatherSpec{
+		K: en.k,
+		// The round is complete when every re-assigned range has been
+		// heard; the grace timer hands over a partial round (the decode
+		// retry then judges what is still missing against the budget).
+		Quorum:   len(prep.missing),
+		Grace:    en.opts.GatherGrace,
+		Round:    round,
+		KeepOpen: true,
+	}, true)
+	if err != nil {
+		return err
+	}
+	// Merge under the same quorum-mode rules as round 0: in-band Err
+	// messages are their sender's delivery fault, duplicates dedup by
+	// (node, round), and a message must both belong to a range this
+	// round re-assigned and match the run geometry to count.
+	kept := msgs[:0]
+	for _, m := range msgs {
+		if m.Err != nil && m.ID >= 0 && m.ID < en.k {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	delivered, _, err := collectShares(kept, en.k, round)
+	if err != nil {
+		return err
+	}
+	var repaired []int
+	for _, m := range delivered {
+		if !still[m.ID] || !en.shareShapeOK(m) {
+			continue
+		}
+		still[m.ID] = false
+		prep.shares = append(prep.shares, m)
+		repaired = append(repaired, m.ID)
+		en.report.TotalNodeCompute += m.Elapsed
+		if m.Elapsed > en.report.MaxNodeCompute {
+			en.report.MaxNodeCompute = m.Elapsed
+		}
+	}
+	remaining := prep.missing[:0]
+	for _, id := range prep.missing {
+		if still[id] {
+			remaining = append(remaining, id)
+		}
+	}
+	prep.missing = remaining
+	en.report.MissingNodes = append([]int(nil), remaining...)
+	en.report.RepairedNodes = append(en.report.RepairedNodes, repaired...)
+	sort.Ints(en.report.RepairedNodes)
+	en.report.RepairRounds = round
+	en.report.ComputeWall += time.Since(repairStart)
+	return nil
 }
 
 // shareShapeOK reports whether a delivered message's claimed geometry
@@ -532,7 +733,9 @@ func (en *engine) stageDecode(ctx context.Context, prep *prepared) (*Proof, erro
 	if err != nil {
 		return nil, err
 	}
-	en.report.DecodeWall = time.Since(decodeStart)
+	// Accumulate: a repair-capable run decodes once per round, and the
+	// report's decode wall is the run's total.
+	en.report.DecodeWall += time.Since(decodeStart)
 
 	// Agreement: all decoders must have recovered the same proof.
 	first := results[0]

@@ -177,7 +177,7 @@ func TestBroadcastBusRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	all, missing, err := collectShares(msgs, 3)
+	all, missing, err := collectShares(msgs, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestBroadcastBusRoundTrip(t *testing.T) {
 func TestCollectSharesDetectsProtocolViolations(t *testing.T) {
 	// Duplicated delivery is a transport fault, not a protocol
 	// violation: the first copy wins and nothing is reported missing.
-	all, missing, err := collectShares([]NodeShares{{ID: 0, Lo: 1}, {ID: 0, Lo: 9}, {ID: 1}}, 2)
+	all, missing, err := collectShares([]NodeShares{{ID: 0, Lo: 1}, {ID: 0, Lo: 9}, {ID: 1}}, 2, 0)
 	if err != nil || len(missing) != 0 {
 		t.Fatalf("duplicate delivery: all=%v missing=%v err=%v", all, missing, err)
 	}
@@ -202,12 +202,12 @@ func TestCollectSharesDetectsProtocolViolations(t *testing.T) {
 		t.Fatalf("dedup did not keep the first copy: %+v", all)
 	}
 	// A sender outside [0, k) is a protocol violation.
-	if _, _, err := collectShares([]NodeShares{{ID: 5}}, 2); err == nil {
+	if _, _, err := collectShares([]NodeShares{{ID: 5}}, 2, 0); err == nil {
 		t.Fatal("out-of-range sender accepted")
 	}
 	// Missing senders are reported, not errored — the engine decides
 	// whether the run is strict (fail) or erasure-tolerant (decode).
-	all, missing, err = collectShares([]NodeShares{{ID: 1}}, 3)
+	all, missing, err = collectShares([]NodeShares{{ID: 1}}, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestCollectSharesDetectsProtocolViolations(t *testing.T) {
 		t.Fatalf("all=%v missing=%v, want one delivered and missing [0 2]", all, missing)
 	}
 	boom := errors.New("node exploded")
-	if _, _, err := collectShares([]NodeShares{{ID: 0}, {ID: 1, Err: boom}}, 2); !errors.Is(err, boom) {
+	if _, _, err := collectShares([]NodeShares{{ID: 0}, {ID: 1, Err: boom}}, 2, 0); !errors.Is(err, boom) {
 		t.Fatalf("in-band node error not surfaced: %v", err)
 	}
 }

@@ -117,11 +117,19 @@ func (t *LossyTransport) fate(id int) (drop bool, copies int, delay time.Duratio
 // injected latency models the *network* holding the message, so it
 // must not serialize the sending workers or skew compute-time
 // readings. The delivery goroutine honors the Send context — the
-// engine cancels it once the gather has returned, so a still-pending
-// delayed copy is abandoned with the rest of the run's stragglers.
-// Fate (drop/copies/delay) stays a pure function of (Seed, sender id).
+// engine scopes each gather round's sends to their own context and
+// cancels it when the round's gather returns, so a still-pending
+// delayed copy from round N is abandoned before round N+1 begins and
+// can never land in a later round's gather.
+// Fate (drop/copies/delay) stays a pure function of (Seed, sender id),
+// where "sender" is the message's physical origin: a dead node's range
+// re-sent by a surviving sponsor in a repair round rides the sponsor's
+// link, so DropNodes containing the dead owner does not re-drop the
+// repair — the owner's *link* is dead, the sponsor's is not. Fate is
+// deliberately not re-drawn per round, which keeps loss patterns pure
+// in (Seed, link) and repair outcomes schedule-independent.
 func (t *LossyTransport) Send(ctx context.Context, m NodeShares) error {
-	drop, copies, delay := t.fate(m.ID)
+	drop, copies, delay := t.fate(m.Origin())
 	if drop {
 		return nil
 	}
@@ -198,4 +206,14 @@ func (t *LossyTransport) GatherQuorum(ctx context.Context, spec GatherSpec) ([]N
 		return nil, ErrQuorumUnsupported
 	}
 	return qg.GatherQuorum(ctx, spec)
+}
+
+// Close tears the inner transport down when it has a lifecycle to tear
+// down (sharded relays, a TCP listener kept open across repair rounds).
+// The wrapper itself holds no resources beyond the delayed-delivery
+// goroutines, which exit on their own cancelled Send contexts.
+func (t *LossyTransport) Close() {
+	if c, ok := t.inner.(interface{ Close() }); ok {
+		c.Close()
+	}
 }

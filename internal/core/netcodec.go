@@ -11,11 +11,18 @@ package core
 //
 // Payload layout (every integer a little-endian uint64):
 //
-//	magic 'C' 'M' 'S' 1
-//	id | lo | hi | elapsedNS
+//	magic 'C' 'M' 'S' 2
+//	id | from | round | lo | hi | elapsedNS
 //	errLen | errLen bytes of in-band error text
 //	nPrimes | width
 //	nPrimes × width × (hi-lo) evaluation words, [prime][coord][point]
+//
+// Version 2 added the from and round words for the self-healing gather:
+// a repair-round frame names its range owner (id) and the surviving
+// sponsor that actually computed and sent it (from), and the round
+// number lets the collector drop stale frames from earlier gathers.
+// Version-1 frames are rejected with ErrBadFrame like any other
+// unknown format — both ends of a run upgrade together.
 //
 // On the stream the payload travels length-prefixed (see writeFrame /
 // readFrame): a uint32 little-endian byte count, then the payload. The
@@ -32,7 +39,7 @@ import (
 
 // sharesMagic guards against decoding unrelated bytes; the trailing
 // byte is the format version.
-var sharesMagic = [4]byte{'C', 'M', 'S', 1}
+var sharesMagic = [4]byte{'C', 'M', 'S', 2}
 
 // ErrBadFrame is the typed rejection of a malformed NodeShares frame:
 // wrong magic, implausible geometry, a size claim the received bytes
@@ -92,11 +99,18 @@ func EncodeNodeShares(m NodeShares) ([]byte, error) {
 			}
 		}
 	}
-	// 7 header words: id, lo, hi, elapsed, errLen, nPrimes, width.
-	size := len(sharesMagic) + 8*7 + len(errText) + 8*nPrimes*width*span
+	if m.From < 0 || m.Round < 0 {
+		// The decoder rejects these as implausible, so encoding them
+		// would produce a frame the format disowns.
+		return nil, fmt.Errorf("core: encode shares node %d: negative from=%d or round=%d", m.ID, m.From, m.Round)
+	}
+	// 9 header words: id, from, round, lo, hi, elapsed, errLen, nPrimes, width.
+	size := len(sharesMagic) + 8*9 + len(errText) + 8*nPrimes*width*span
 	buf := make([]byte, 0, size)
 	buf = append(buf, sharesMagic[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.ID)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.From)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Round)))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Lo)))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Hi)))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(m.Elapsed)))
@@ -133,7 +147,7 @@ func DecodeNodeShares(data []byte) (NodeShares, error) {
 		rest = rest[8:]
 		return v, true
 	}
-	var hdr [5]uint64 // id, lo, hi, elapsed, errLen
+	var hdr [7]uint64 // id, from, round, lo, hi, elapsed, errLen
 	for i := range hdr {
 		v, ok := word()
 		if !ok {
@@ -141,14 +155,18 @@ func DecodeNodeShares(data []byte) (NodeShares, error) {
 		}
 		hdr[i] = v
 	}
-	id, lo, hi := int64(hdr[0]), int64(hdr[1]), int64(hdr[2])
+	id, from, round := int64(hdr[0]), int64(hdr[1]), int64(hdr[2])
+	lo, hi := int64(hdr[3]), int64(hdr[4])
 	span := hi - lo
-	// id stays strictly below 1<<31 so the int conversion is exact
-	// even on 32-bit platforms; honest senders are 0..K-1.
-	if id < 0 || id >= 1<<31 || lo < 0 || hi < lo || span > maxCodecSpan {
-		return m, fmt.Errorf("%w: implausible geometry id=%d range=[%d,%d)", ErrBadFrame, id, lo, hi)
+	// id/from/round stay strictly below 1<<31 so the int conversions
+	// are exact even on 32-bit platforms; honest senders are 0..K-1 and
+	// honest rounds are tiny.
+	if id < 0 || id >= 1<<31 || from < 0 || from >= 1<<31 || round < 0 || round >= 1<<31 ||
+		lo < 0 || hi < lo || span > maxCodecSpan {
+		return m, fmt.Errorf("%w: implausible geometry id=%d from=%d round=%d range=[%d,%d)",
+			ErrBadFrame, id, from, round, lo, hi)
 	}
-	errLen := hdr[4]
+	errLen := hdr[6]
 	if errLen > maxCodecErrLen || errLen > uint64(len(rest)) {
 		return m, fmt.Errorf("%w: error text claims %d bytes, %d available", ErrBadFrame, errLen, len(rest))
 	}
@@ -183,9 +201,11 @@ func DecodeNodeShares(data []byte) (NodeShares, error) {
 		return m, fmt.Errorf("%w: body claims %d bytes, frame carries %d", ErrBadFrame, need, len(rest))
 	}
 	m.ID = int(id)
+	m.From = int(from)
+	m.Round = int(round)
 	m.Lo = int(lo)
 	m.Hi = int(hi)
-	m.Elapsed = time.Duration(int64(hdr[3]))
+	m.Elapsed = time.Duration(int64(hdr[5]))
 	if errLen > 0 {
 		m.Err = &RemoteError{Msg: errText}
 	}

@@ -16,10 +16,13 @@ import (
 	"time"
 )
 
-// randomShares builds a rectangular NodeShares with seeded contents.
+// randomShares builds a rectangular NodeShares with seeded contents,
+// including a random sponsor and repair round so the round-trip cases
+// exercise the v2 header fields.
 func randomShares(rng *rand.Rand, id, lo, span, nPrimes, width int, errText string) NodeShares {
 	m := NodeShares{
-		ID: id, Lo: lo, Hi: lo + span,
+		ID: id, From: rng.Intn(1 << 20), Round: rng.Intn(4),
+		Lo: lo, Hi: lo + span,
 		Elapsed: time.Duration(rng.Int63n(1 << 40)),
 		Vals:    make([][][]uint64, nPrimes),
 	}
@@ -42,7 +45,8 @@ func randomShares(rng *rand.Rand, id, lo, span, nPrimes, width int, errText stri
 
 func sharesEqual(t *testing.T, a, b NodeShares) {
 	t.Helper()
-	if a.ID != b.ID || a.Lo != b.Lo || a.Hi != b.Hi || a.Elapsed != b.Elapsed {
+	if a.ID != b.ID || a.From != b.From || a.Round != b.Round ||
+		a.Lo != b.Lo || a.Hi != b.Hi || a.Elapsed != b.Elapsed {
 		t.Fatalf("header mismatch: %+v vs %+v", a, b)
 	}
 	switch {
@@ -150,6 +154,9 @@ func TestNodeSharesDecodeRejectsGarbage(t *testing.T) {
 		"empty":       nil,
 		"bad magic":   []byte("XXXXthis is not a frame at all, not even close"),
 		"proof magic": append([]byte{'C', 'M', 'L', 1}, make([]byte, 64)...),
+		// The pre-repair frame format: one version byte off, typed-rejected
+		// rather than misparsed (v1 headers lack the from/round words).
+		"v1 magic": append([]byte{'C', 'M', 'S', 1}, make([]byte, 72)...),
 	}
 	for name, data := range cases {
 		if _, err := DecodeNodeShares(data); !errors.Is(err, ErrBadFrame) {
@@ -163,9 +170,9 @@ func TestNodeSharesDecodeRejectsGarbage(t *testing.T) {
 // before allocating anything proportional to the claim.
 func TestNodeSharesDecodeBoundsAllocations(t *testing.T) {
 	le := binary.LittleEndian
-	hdr := func(id, lo, hi, elapsed, errLen uint64, rest ...uint64) []byte {
+	hdr := func(id, from, round, lo, hi, elapsed, errLen uint64, rest ...uint64) []byte {
 		buf := append([]byte{}, sharesMagic[:]...)
-		for _, v := range []uint64{id, lo, hi, elapsed, errLen} {
+		for _, v := range []uint64{id, from, round, lo, hi, elapsed, errLen} {
 			buf = le.AppendUint64(buf, v)
 		}
 		for _, v := range rest {
@@ -174,12 +181,14 @@ func TestNodeSharesDecodeBoundsAllocations(t *testing.T) {
 		return buf
 	}
 	cases := map[string][]byte{
-		"huge span":     hdr(1, 0, 1<<40, 0, 0),
-		"negative span": hdr(1, 100, 50, 0, 0),
-		"huge err":      hdr(1, 0, 1, 0, 1<<30),
-		"huge primes":   hdr(1, 0, 1, 0, 0, 1<<20, 1),
-		"huge width":    hdr(1, 0, 1, 0, 0, 1, 1<<40),
-		"unbacked body": hdr(1, 0, 1<<20, 0, 0, 8, 64), // claims 4 GiB of words, carries none
+		"huge span":     hdr(1, 0, 0, 0, 1<<40, 0, 0),
+		"negative span": hdr(1, 0, 0, 100, 50, 0, 0),
+		"huge from":     hdr(1, 1<<40, 0, 0, 1, 0, 0),
+		"huge round":    hdr(1, 0, 1<<40, 0, 1, 0, 0),
+		"huge err":      hdr(1, 0, 0, 0, 1, 0, 1<<30),
+		"huge primes":   hdr(1, 0, 0, 0, 1, 0, 0, 1<<20, 1),
+		"huge width":    hdr(1, 0, 0, 0, 1, 0, 0, 1, 1<<40),
+		"unbacked body": hdr(1, 0, 0, 0, 1<<20, 0, 0, 8, 64), // claims 4 GiB of words, carries none
 	}
 	for name, data := range cases {
 		allocated := testing.AllocsPerRun(1, func() {

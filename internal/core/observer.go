@@ -60,13 +60,19 @@ type Observer interface {
 	// are a transport failure axis distinct from the content faults
 	// SuspectsFound tracks: a missing node is erased, not suspected.
 	DeliveryFaults(count int)
+	// RepairRound announces the start of a self-healing gather round
+	// (round counts from 1): the decode stage found the erasures beyond
+	// budget and the listed nodes' point ranges are being re-assigned
+	// to surviving nodes. The slice is the callback's to keep.
+	RepairRound(round int, reassigned []int)
 }
 
 // nopObserver is the default when Options.Observer is nil.
 type nopObserver struct{}
 
-func (nopObserver) Geometry(int, int)  {}
-func (nopObserver) StageStart(Stage)   {}
-func (nopObserver) PointsDone(int)     {}
-func (nopObserver) SuspectsFound(int)  {}
-func (nopObserver) DeliveryFaults(int) {}
+func (nopObserver) Geometry(int, int)      {}
+func (nopObserver) StageStart(Stage)       {}
+func (nopObserver) PointsDone(int)         {}
+func (nopObserver) SuspectsFound(int)      {}
+func (nopObserver) DeliveryFaults(int)     {}
+func (nopObserver) RepairRound(int, []int) {}

@@ -303,9 +303,10 @@ func (o *chunkObserver) StageStart(s Stage) {
 	o.stages = append(o.stages, s)
 	o.mu.Unlock()
 }
-func (o *chunkObserver) PointsDone(d int)     { o.points.Add(int64(d)) }
-func (o *chunkObserver) SuspectsFound(n int)  { o.suspects.Store(int64(n)) }
-func (o *chunkObserver) DeliveryFaults(n int) {}
+func (o *chunkObserver) PointsDone(d int)       { o.points.Add(int64(d)) }
+func (o *chunkObserver) SuspectsFound(n int)    { o.suspects.Store(int64(n)) }
+func (o *chunkObserver) DeliveryFaults(n int)   {}
+func (o *chunkObserver) RepairRound(int, []int) {}
 
 func TestObserverSeesStagesAndFullProgress(t *testing.T) {
 	obs := &chunkObserver{}

@@ -127,8 +127,16 @@ func (t *ShardedTransport) Gather(ctx context.Context, k int) ([]NodeShares, err
 	return out, nil
 }
 
-// GatherQuorum implements QuorumGatherer.
+// GatherQuorum implements QuorumGatherer. With spec.KeepOpen the relays
+// stay up after the gather returns — the engine may run repair rounds
+// over this instance and calls Close when the run ends.
 func (t *ShardedTransport) GatherQuorum(ctx context.Context, spec GatherSpec) ([]NodeShares, error) {
-	defer t.shutdown()
+	if !spec.KeepOpen {
+		defer t.shutdown()
+	}
 	return gatherQuorum(ctx, t.collector, spec)
 }
+
+// Close shuts the relays down (idempotent) — for callers that kept the
+// transport open across gather rounds, or never reached a gather.
+func (t *ShardedTransport) Close() { t.shutdown() }

@@ -243,12 +243,13 @@ func (t *TCPTransport) readConn(conn net.Conn) {
 			t.badFrames.Add(1)
 			return
 		}
-		if m.ID < 0 || m.ID >= t.k {
-			// A sender this run never had: feeding it through would
-			// fail the whole gather as a protocol violation, but over
-			// a socket it is just a hostile or misrouted peer — cost
-			// it the connection, not the run. (The engine additionally
-			// validates each claimed shape against the run geometry.)
+		if m.ID < 0 || m.ID >= t.k || m.From < 0 || m.From >= t.k {
+			// A sender (or claimed repair sponsor) this run never had:
+			// feeding it through would fail the whole gather as a
+			// protocol violation, but over a socket it is just a
+			// hostile or misrouted peer — cost it the connection, not
+			// the run. (The engine additionally validates each claimed
+			// shape against the run geometry.)
 			t.badFrames.Add(1)
 			return
 		}
@@ -356,12 +357,18 @@ func (t *TCPTransport) Gather(ctx context.Context, k int) ([]NodeShares, error) 
 
 // GatherQuorum implements QuorumGatherer over the collector channel —
 // the same loop every in-memory transport uses, so MaxErasures and
-// GatherGrace behave identically over a socket.
+// GatherGrace behave identically over a socket. With spec.KeepOpen the
+// listener and reader connections survive the gather's return: the
+// engine may run repair rounds over this instance — follow-up frames
+// arrive on existing or fresh connections alike — and calls Close when
+// the run ends.
 func (t *TCPTransport) GatherQuorum(ctx context.Context, spec GatherSpec) ([]NodeShares, error) {
 	if t.ln == nil {
 		return nil, ErrNotCollector
 	}
-	defer t.shutdown()
+	if !spec.KeepOpen {
+		defer t.shutdown()
+	}
 	return gatherQuorum(ctx, t.ch, spec)
 }
 

@@ -187,7 +187,7 @@ func TestTCPMalformedFramesCostTheConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delivered, missing, err := collectShares(msgs, 2)
+	delivered, missing, err := collectShares(msgs, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestTCPInBandError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := collectShares(msgs, 1); err == nil || err.Error() != want.Error() {
+	if _, _, err := collectShares(msgs, 1, 0); err == nil || err.Error() != want.Error() {
 		t.Fatalf("in-band error = %v, want %q", err, want)
 	}
 }
@@ -293,7 +293,7 @@ func TestTCPUnknownSenderCostsTheConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delivered, missing, err := collectShares(msgs, 2)
+	delivered, missing, err := collectShares(msgs, 2, 0)
 	if err != nil {
 		t.Fatalf("forged id reached collectShares: %v", err)
 	}

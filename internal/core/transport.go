@@ -23,8 +23,22 @@ import (
 // NodeShares is the broadcast message a node contributes: its
 // evaluations for every prime, coordinate, and owned point.
 type NodeShares struct {
-	// ID is the sending node.
+	// ID is the node whose point range the message carries — the range
+	// owner, which is what every decoder indexes by. In a repair round
+	// the owner is dead and a surviving sponsor computes and sends the
+	// range on its behalf; ID still names the owner.
 	ID int
+	// From is the node that physically sent the message: the owner
+	// itself in round 0, the sponsoring survivor in a repair round. The
+	// transport's link faults (a lossy network's drop fate, say) attach
+	// to the physical sender, not the range owner — see Origin.
+	From int
+	// Round is the gather round the message belongs to: 0 for the
+	// initial prepare gather, n ≥ 1 for the n-th repair round. A
+	// collector drops frames from any other round as delivery faults —
+	// a stale duplicate must never be double-counted into a later
+	// round's quorum.
+	Round int
 	// Lo, Hi delimit the owned point-index range [Lo, Hi).
 	Lo, Hi int
 	// Vals is indexed [prime][coord][point-Lo].
@@ -34,6 +48,17 @@ type NodeShares struct {
 	// Err is a node-side evaluation failure, reported in-band so the
 	// collector can attribute it.
 	Err error
+}
+
+// Origin returns the message's physical sender: the sponsor (From) for
+// a repair-round message, the owner (ID) otherwise. Round > 0 is the
+// discriminant — From's zero value is a valid node id, so round-0
+// messages constructed without From must still originate from ID.
+func (m NodeShares) Origin() int {
+	if m.Round > 0 {
+		return m.From
+	}
+	return m.ID
 }
 
 // Transport moves NodeShares messages from compute nodes to the
@@ -75,6 +100,19 @@ type GatherSpec struct {
 	// never trip the first-arrival grace timer and the gather would
 	// wait for ctx alone.
 	SendsDone <-chan struct{}
+	// Round is the gather round this spec serves. Messages carrying any
+	// other NodeShares.Round are dropped unseen — not counted toward
+	// the quorum, not returned, not allowed to arm the grace timer. A
+	// round-0 broadcast delayed past its own gather must read as a
+	// delivery fault in its round, never as a phantom arrival in the
+	// repair round that follows.
+	Round int
+	// KeepOpen tells transports that normally shut down when a gather
+	// returns (sharded relays, the TCP listener) to stay alive: the
+	// engine may run repair rounds over the same instance and owns the
+	// transport's lifecycle for the rest of the run (see the engine's
+	// closeTransport).
+	KeepOpen bool
 }
 
 // QuorumGatherer is the capability a transport needs to serve runs that
@@ -197,6 +235,15 @@ func gatherQuorum(ctx context.Context, ch <-chan NodeShares, spec GatherSpec) ([
 	for len(distinct) < spec.Quorum {
 		select {
 		case m := <-ch:
+			if m.Round != spec.Round {
+				// A frame from another gather round — a round-0 copy a
+				// slow network delivered into the repair round, or a
+				// replayed stale frame. It is this round's delivery
+				// fault for its owner, never an arrival: dropping it
+				// unseen keeps it out of the quorum count, the output,
+				// and the grace timer.
+				continue
+			}
 			out = append(out, m)
 			if m.ID >= 0 && m.ID < spec.K && !distinct[m.ID] {
 				distinct[m.ID] = true
@@ -214,6 +261,9 @@ func gatherQuorum(ctx context.Context, ch <-chan NodeShares, spec GatherSpec) ([
 				for {
 					select {
 					case m := <-ch:
+						if m.Round != spec.Round {
+							continue
+						}
 						out = append(out, m)
 					default:
 						return out, nil
@@ -235,6 +285,9 @@ func gatherQuorum(ctx context.Context, ch <-chan NodeShares, spec GatherSpec) ([
 	for i := 0; i < 2*spec.K; i++ {
 		select {
 		case m := <-ch:
+			if m.Round != spec.Round {
+				continue
+			}
 			out = append(out, m)
 		default:
 			return out, nil
@@ -244,15 +297,23 @@ func gatherQuorum(ctx context.Context, ch <-chan NodeShares, spec GatherSpec) ([
 }
 
 // collectShares organizes gathered messages: it dedups repeated
-// deliveries (first copy wins), surfaces any in-band node failure,
-// and reports which of the k expected senders were never heard from.
-// It errors only on protocol violations (a sender outside [0, k)) and
-// node-side failures — missing senders are the caller's policy
-// decision (the engine fails a strict run and erases a lossy one).
-func collectShares(msgs []NodeShares, k int) (delivered []NodeShares, missing []int, err error) {
+// deliveries by (node, round) — first copy wins — surfaces any in-band
+// node failure, and reports which of the k expected senders were never
+// heard from. A message from any round other than the requested one is
+// skipped as if it never arrived: a stale round-0 frame replayed during
+// a repair round is that round's delivery fault, never a counted
+// delivery (the quorum gather filters these too; this is the defense
+// for callers that bypass it). It errors only on protocol violations
+// (a sender outside [0, k)) and node-side failures — missing senders
+// are the caller's policy decision (the engine fails a strict run and
+// erases a lossy one).
+func collectShares(msgs []NodeShares, k, round int) (delivered []NodeShares, missing []int, err error) {
 	all := make([]NodeShares, k)
 	seen := make([]bool, k)
 	for _, m := range msgs {
+		if m.Round != round {
+			continue // another round's frame: for this round, never delivered
+		}
 		if m.ID < 0 || m.ID >= k {
 			return nil, nil, fmt.Errorf("transport delivered message from unknown node %d", m.ID)
 		}

@@ -41,7 +41,7 @@ func TestCollectSharesPropertySweep(t *testing.T) {
 		}
 		rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
 
-		delivered, missing, err := collectShares(msgs, k)
+		delivered, missing, err := collectShares(msgs, k, 0)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -154,7 +154,7 @@ func TestGatherQuorumCountsDistinctSenders(t *testing.T) {
 	if len(msgs) != 3 {
 		t.Fatalf("raw stream length %d, want 3 (duplicates preserved)", len(msgs))
 	}
-	_, missing, err := collectShares(msgs, 4)
+	_, missing, err := collectShares(msgs, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestShardedTransportDeliversAcrossShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	delivered, missing, err := collectShares(msgs, k)
+	delivered, missing, err := collectShares(msgs, k, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestShardedTransportShutdownFreesLateSenders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, missing, _ := collectShares(msgs, k); len(missing) != 2 {
+	if _, missing, _ := collectShares(msgs, k, 0); len(missing) != 2 {
 		t.Fatalf("missing = %v, want 2 stragglers", missing)
 	}
 	// The gather has returned and shut the relays down: a straggler's
@@ -301,7 +301,7 @@ func TestLossyTransportDropsAndDuplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, missing, err := collectShares(msgs, 4)
+	_, missing, err := collectShares(msgs, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,6 +73,9 @@ type JobStatus struct {
 	// distinctly from the content-fault Suspects. 0 until the prepare
 	// stage's gather resolves.
 	DeliveryFaults int
+	// RepairRounds is the number of self-healing gather rounds started
+	// so far (0 when repair never triggered).
+	RepairRounds int
 	// Err is the terminal error for failed jobs, nil otherwise.
 	Err error
 }
@@ -88,6 +91,7 @@ type Job struct {
 	pointsTotal    atomic.Int64
 	suspects       atomic.Int32
 	deliveryFaults atomic.Int32
+	repairRounds   atomic.Int32
 
 	// Terminal results; written once by finish before done is closed,
 	// read only after done (or under the done-channel happens-before).
@@ -151,6 +155,7 @@ func (j *Job) Status() JobStatus {
 		PointsTotal:    int(j.pointsTotal.Load()),
 		Suspects:       int(j.suspects.Load()),
 		DeliveryFaults: int(j.deliveryFaults.Load()),
+		RepairRounds:   int(j.repairRounds.Load()),
 	}
 	select {
 	case <-j.done:
@@ -196,4 +201,9 @@ func (o *jobObserver) SuspectsFound(count int) {
 
 func (o *jobObserver) DeliveryFaults(count int) {
 	(*Job)(o).deliveryFaults.Store(int32(count))
+}
+
+func (o *jobObserver) RepairRound(round int, reassigned []int) {
+	// Rounds ascend, one caller at a time; a plain store suffices.
+	(*Job)(o).repairRounds.Store(int32(round))
 }
