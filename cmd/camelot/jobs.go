@@ -23,7 +23,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -37,42 +36,10 @@ type manifestJob struct {
 	problem camelot.CountingProblem
 }
 
-// jobSpec holds a manifest line's key=value pairs with typed access.
-type jobSpec struct {
-	line   int
-	kind   string
-	fields map[string]string
-}
-
-func (s *jobSpec) errf(format string, args ...any) error {
-	return fmt.Errorf("manifest line %d (%s): %s", s.line, s.kind, fmt.Sprintf(format, args...))
-}
-
-func (s *jobSpec) intField(key string, def int) (int, error) {
-	v, ok := s.fields[key]
-	if !ok {
-		return def, nil
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return 0, s.errf("bad %s=%q", key, v)
-	}
-	return n, nil
-}
-
-func (s *jobSpec) floatField(key string, def float64) (float64, error) {
-	v, ok := s.fields[key]
-	if !ok {
-		return def, nil
-	}
-	f, err := strconv.ParseFloat(v, 64)
-	if err != nil {
-		return 0, s.errf("bad %s=%q", key, v)
-	}
-	return f, nil
-}
-
-// parseManifest reads the job list.
+// parseManifest reads the job list. Each non-comment line is a
+// workload spec in the facade's shared grammar (camelot.ParseWorkload)
+// — the same one-line encoding the coordinate subcommand and the
+// control protocol's Assign manifests use.
 func parseManifest(path string) ([]manifestJob, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -88,20 +55,11 @@ func parseManifest(path string) ([]manifestJob, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.Fields(line)
-		spec := &jobSpec{line: lineNo, kind: parts[0], fields: make(map[string]string)}
-		for _, kv := range parts[1:] {
-			k, v, ok := strings.Cut(kv, "=")
-			if !ok {
-				return nil, spec.errf("field %q is not key=value", kv)
-			}
-			spec.fields[k] = v
-		}
-		p, err := buildManifestProblem(spec)
+		w, err := camelot.ParseWorkload(line)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("manifest line %d: %w", lineNo, err)
 		}
-		jobs = append(jobs, manifestJob{line: lineNo, kind: spec.kind, problem: p})
+		jobs = append(jobs, manifestJob{line: lineNo, kind: w.Kind, problem: w.Problem})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -110,63 +68,6 @@ func parseManifest(path string) ([]manifestJob, error) {
 		return nil, fmt.Errorf("manifest %s holds no jobs", path)
 	}
 	return jobs, nil
-}
-
-// buildManifestProblem constructs the counting problem a spec names.
-func buildManifestProblem(s *jobSpec) (camelot.CountingProblem, error) {
-	seed, err := s.intField("seed", 1)
-	if err != nil {
-		return nil, err
-	}
-	switch s.kind {
-	case "triangles":
-		n, err1 := s.intField("n", 32)
-		p, err2 := s.floatField("p", 0.3)
-		if err := firstErr(err1, err2); err != nil {
-			return nil, err
-		}
-		return camelot.NewTriangleProblem(camelot.RandomGraph(n, p, int64(seed)))
-	case "cliques":
-		n, err1 := s.intField("n", 8)
-		k, err2 := s.intField("k", 6)
-		p, err3 := s.floatField("p", 0.7)
-		if err := firstErr(err1, err2, err3); err != nil {
-			return nil, err
-		}
-		return camelot.NewCliqueProblem(camelot.RandomGraph(n, p, int64(seed)), k)
-	case "permanent":
-		n, err := s.intField("n", 10)
-		if err != nil {
-			return nil, err
-		}
-		return camelot.NewPermanentProblem(randomMatrix(n, int64(seed)))
-	case "cnfsat":
-		vars, err1 := s.intField("vars", 12)
-		clauses, err2 := s.intField("clauses", 20)
-		width, err3 := s.intField("width", 3)
-		if err := firstErr(err1, err2, err3); err != nil {
-			return nil, err
-		}
-		return camelot.NewCNFProblem(randomCNF(vars, clauses, width, int64(seed)))
-	case "hamilton":
-		n, err1 := s.intField("n", 9)
-		p, err2 := s.floatField("p", 0.5)
-		if err := firstErr(err1, err2); err != nil {
-			return nil, err
-		}
-		return camelot.NewHamiltonianCycleProblem(camelot.RandomGraph(n, p, int64(seed)))
-	default:
-		return nil, s.errf("unknown job kind (want triangles|cliques|permanent|cnfsat|hamilton)")
-	}
-}
-
-func firstErr(errs ...error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // runJobs is the jobs subcommand body.

@@ -42,6 +42,14 @@
 //
 //	camelot triangles -n 48 -nodes 8 -listen 127.0.0.1:0
 //	camelot triangles -n 20 -nodes 8 -faults 12 -listen 127.0.0.1:0 -dropnodes 2 -erasures 1
+//
+// The coordinate/node pair runs one workload across real OS processes:
+// a coordinator serves point-range assignments over the control
+// protocol and worker daemons evaluate them (see remote.go and
+// ARCHITECTURE.md "Multi-process deployment"):
+//
+//	camelot coordinate -spec "triangles n=24 p=0.3 seed=7" -listen 127.0.0.1:9000 -workers 2 -secret s
+//	camelot node -join 127.0.0.1:9000 -secret s
 package main
 
 import (
@@ -49,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"math/big"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -107,11 +116,62 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&cf.listenAddr, "listen", "", "TCP collector bind address when it differs from -tcp; alone, a loopback cluster dialing the bound address (use 127.0.0.1:0 for an ephemeral port)")
 }
 
+// validate applies every cross-flag rule up front, so a contradictory
+// invocation dies with one friendly line instead of a mid-run hang or a
+// deep framework error. splitOptions calls it first; subcommands with
+// extra flags (coordinate) layer their own checks on top.
+func (cf *commonFlags) validate() error {
+	if cf.nodes < 1 {
+		return fmt.Errorf("-nodes must be at least 1, got %d", cf.nodes)
+	}
+	if cf.faults < 0 {
+		return fmt.Errorf("-faults must be >= 0, got %d", cf.faults)
+	}
+	if cf.trials < 0 {
+		return fmt.Errorf("-trials must be >= 0, got %d", cf.trials)
+	}
+	if cf.shards < 0 || cf.erasures < 0 || cf.repair < 0 {
+		return fmt.Errorf("-shards/-erasures/-repair must be >= 0")
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"-droprate", cf.dropRate}, {"-duprate", cf.dupRate}, {"-delayrate", cf.delayRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("%s is a probability: want 0..1, got %g", r.name, r.v)
+		}
+	}
+	if (cf.tcpAddr != "" || cf.listenAddr != "") && cf.shards > 0 {
+		return fmt.Errorf("-tcp/-listen and -shards are mutually exclusive: a run uses one transport")
+	}
+	for _, a := range []struct{ name, addr string }{{"-tcp", cf.tcpAddr}, {"-listen", cf.listenAddr}} {
+		if a.addr == "" {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(a.addr); err != nil {
+			return fmt.Errorf("%s %q is not a host:port address (try 127.0.0.1:0 for an ephemeral port)", a.name, a.addr)
+		}
+	}
+	if (cf.dropNodes != "" || cf.dropRate > 0 || cf.dupRate > 0) && cf.erasures <= 0 {
+		return fmt.Errorf("-dropnodes/-droprate/-duprate need -erasures N: a strict gather waits forever for lost messages")
+	}
+	if cf.repair > 0 && cf.erasures <= 0 {
+		return fmt.Errorf("-repair needs -erasures N: a strict gather has no missing nodes to repair")
+	}
+	if cf.grace > 0 && cf.erasures <= 0 {
+		return fmt.Errorf("-grace needs -erasures N: only the erasure-tolerant gather has a grace timer")
+	}
+	return nil
+}
+
 // splitOptions resolves the flags into the session API's two scopes:
 // cluster-scoped (nodes, pool width) and run-scoped (faults, seed,
 // trials, adversary). The jobs subcommand feeds them to NewCluster and
 // Submit respectively; the one-shot subcommands merge them back.
 func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOption, error) {
+	if err := cf.validate(); err != nil {
+		return nil, nil, err
+	}
 	cluster := []camelot.ClusterOption{
 		camelot.WithNodes(cf.nodes),
 		camelot.WithMaxParallelism(cf.parallelism),
@@ -136,9 +196,6 @@ func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOpt
 		}
 		return ids, nil
 	}
-	if (cf.tcpAddr != "" || cf.listenAddr != "") && cf.shards > 0 {
-		return nil, nil, fmt.Errorf("-tcp/-listen and -shards are mutually exclusive: a run uses one transport")
-	}
 	if cf.shards > 0 {
 		cluster = append(cluster, camelot.WithShardedTransport(cf.shards))
 	}
@@ -155,13 +212,6 @@ func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOpt
 		return nil, nil, err
 	}
 	if len(dropIDs) > 0 || cf.dropRate > 0 || cf.dupRate > 0 || cf.delayRate > 0 {
-		// Losing or duplicating messages under the strict gather either
-		// hangs (the collector waits forever for all K) or misreads a
-		// duplicate as a missing node; demand the erasure opt-in rather
-		// than let the run wedge.
-		if (len(dropIDs) > 0 || cf.dropRate > 0 || cf.dupRate > 0) && cf.erasures <= 0 {
-			return nil, nil, fmt.Errorf("-dropnodes/-droprate/-duprate need -erasures N: a strict gather waits forever for lost messages")
-		}
 		// The lossy wrapper layers over whatever came before it — the
 		// sharded network when -shards is set, the plain bus otherwise.
 		cluster = append(cluster, camelot.WithLossyTransport(camelot.LossyConfig{
@@ -180,9 +230,6 @@ func (cf *commonFlags) splitOptions() ([]camelot.RunOption, []camelot.ClusterOpt
 		run = append(run, camelot.WithGatherGrace(cf.grace))
 	}
 	if cf.repair > 0 {
-		if cf.erasures <= 0 {
-			return nil, nil, fmt.Errorf("-repair needs -erasures N: a strict gather has no missing nodes to repair")
-		}
 		run = append(run, camelot.WithMaxRepairRounds(cf.repair))
 	}
 	if ids, err := parse(cf.lie); err != nil {
@@ -220,12 +267,17 @@ func (cf *commonFlags) options() ([]camelot.Option, error) {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: camelot <cliques|triangles|chromatic|tutte|cnfsat|permanent|hamilton|setcover|ov|conv3sum|csp|jobs> [flags]")
+		return fmt.Errorf("usage: camelot <cliques|triangles|chromatic|tutte|cnfsat|permanent|hamilton|setcover|ov|conv3sum|csp|jobs|coordinate|node> [flags]")
 	}
 	ctx := context.Background()
 	sub, rest := args[0], args[1:]
-	if sub == "jobs" {
+	switch sub {
+	case "jobs":
 		return runJobs(rest)
+	case "coordinate":
+		return runCoordinate(ctx, rest)
+	case "node":
+		return runNode(ctx, rest)
 	}
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 	var cf commonFlags
@@ -315,7 +367,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		f := randomCNF(*vars, *clauses, *width, cf.seed)
+		f := camelot.RandomCNF(*vars, *clauses, *width, cf.seed)
 		count, rep, err := camelot.CountCNFSolutions(ctx, f, opts...)
 		return report("#SAT", count, rep, err)
 
@@ -328,7 +380,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		a := randomMatrix(*n, cf.seed)
+		a := camelot.RandomIntMatrix(*n, cf.seed)
 		per, rep, err := camelot.Permanent(ctx, a, opts...)
 		return report("permanent", per, rep, err)
 

@@ -21,6 +21,8 @@ func TestRunSubcommands(t *testing.T) {
 		"csp":        {"csp", "-n", "6", "-sigma", "2", "-m", "4"},
 		"with-liar":  {"triangles", "-n", "16", "-p", "0.3", "-nodes", "4", "-faults", "40", "-lie", "1"},
 		"with-crash": {"triangles", "-n", "16", "-p", "0.3", "-nodes", "4", "-faults", "40", "-silence", "2"},
+		"coordinate-local": {"coordinate", "-spec", "triangles n=16 p=0.3 seed=2", "-local",
+			"-nodes", "2", "-trials", "1"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -41,6 +43,29 @@ func TestRunErrors(t *testing.T) {
 		"all byzantine":  {"triangles", "-n", "12", "-nodes", "1", "-lie", "0"},
 		"oversized csp":  {"csp", "-n", "5"},
 		"tiny permanent": {"permanent", "-n", "1"},
+
+		// Cross-flag rules (commonFlags.validate): each contradictory
+		// combination dies up front with one line.
+		"repair sans erasures": {"triangles", "-repair", "1"},
+		"grace sans erasures":  {"triangles", "-grace", "1s"},
+		"drop sans erasures":   {"triangles", "-dropnodes", "1"},
+		"listen plus shards":   {"triangles", "-listen", "127.0.0.1:0", "-shards", "2"},
+		"rate beyond 1":        {"triangles", "-droprate", "1.5", "-erasures", "1"},
+		"negative rate":        {"triangles", "-droprate", "-0.1", "-erasures", "1"},
+		"malformed tcp":        {"triangles", "-tcp", "not-an-address"},
+		"malformed listen":     {"triangles", "-listen", "127.0.0.1"},
+		"zero nodes":           {"triangles", "-nodes", "0"},
+
+		// coordinate/node flag contracts.
+		"coordinate sans spec":    {"coordinate", "-local"},
+		"coordinate no mode":      {"coordinate", "-spec", "triangles"},
+		"coordinate both modes":   {"coordinate", "-spec", "triangles", "-local", "-listen", "127.0.0.1:0"},
+		"coordinate bad spec":     {"coordinate", "-spec", "frobnicate n=3", "-local"},
+		"coordinate lossy remote": {"coordinate", "-spec", "triangles", "-listen", "127.0.0.1:0", "-dropnodes", "1", "-erasures", "1"},
+		"coordinate tcp remote":   {"coordinate", "-spec", "triangles", "-listen", "127.0.0.1:0", "-tcp", "127.0.0.1:9"},
+		"node sans join":          {"node"},
+		"node bad join":           {"node", "-join", "not-an-address"},
+		"node negative owner":     {"node", "-join", "127.0.0.1:9", "-fail-owner", "-1"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {

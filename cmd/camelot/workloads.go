@@ -6,36 +6,9 @@ import (
 	"camelot"
 )
 
-// randomCNF draws a uniform width-w CNF.
-func randomCNF(vars, clauses, width int, seed int64) *camelot.CNFFormula {
-	rng := rand.New(rand.NewSource(seed))
-	f := &camelot.CNFFormula{V: vars, Clauses: make([][]int, clauses)}
-	for j := range f.Clauses {
-		cl := make([]int, width)
-		for i := range cl {
-			lit := rng.Intn(vars) + 1
-			if rng.Intn(2) == 1 {
-				lit = -lit
-			}
-			cl[i] = lit
-		}
-		f.Clauses[j] = cl
-	}
-	return f
-}
-
-// randomMatrix draws an n×n matrix with entries in [0, 3].
-func randomMatrix(n int, seed int64) [][]int64 {
-	rng := rand.New(rand.NewSource(seed))
-	a := make([][]int64, n)
-	for i := range a {
-		a[i] = make([]int64, n)
-		for j := range a[i] {
-			a[i][j] = rng.Int63n(4)
-		}
-	}
-	return a
-}
+// randomCNF and randomMatrix moved to the facade (camelot.RandomCNF,
+// camelot.RandomIntMatrix) so workload specs build identically in every
+// process of a multi-node deployment.
 
 // randomFamily draws nonempty subsets of [n].
 func randomFamily(n, size int, seed int64) []uint64 {

@@ -73,11 +73,11 @@ func (p *Proof) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (p *Proof) UnmarshalBinary(data []byte) error {
-	r := bytes.NewReader(data)
-	var magic [4]byte
-	if _, err := r.Read(magic[:]); err != nil || magic != proofMagic {
+	rest, ok := ConsumeMagic(data, proofMagic)
+	if !ok {
 		return fmt.Errorf("%w: bad magic/version", ErrMalformedProof)
 	}
+	r := bytes.NewReader(rest)
 	var rdErr error
 	rd := func() uint64 {
 		var v uint64

@@ -96,6 +96,10 @@ type engine struct {
 	tr       Transport
 	quorumTr QuorumGatherer
 	keepOpen bool
+	// remote is the transport's RemoteAssigner capability when it has
+	// one: prepare and repair rounds then ship AssignSpec manifests to
+	// remote workers instead of evaluating on the local pool.
+	remote RemoteAssigner
 }
 
 // newEngine validates the problem geometry, selects the proof moduli,
@@ -213,10 +217,15 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 // decoder bug — repair cannot fix), and there must be both missing
 // nodes to recompute and survivors to recompute them.
 func (en *engine) canRepair(err error, prep *prepared, round int) bool {
-	return round <= en.opts.MaxRepairRounds &&
-		en.keepOpen &&
-		errors.Is(err, rs.ErrDecodeFailure) &&
-		len(prep.missing) > 0 && len(prep.missing) < en.k
+	if !(round <= en.opts.MaxRepairRounds && en.keepOpen &&
+		errors.Is(err, rs.ErrDecodeFailure) && len(prep.missing) > 0) {
+		return false
+	}
+	// Locally, a survivor must exist to sponsor the recompute. Remotely,
+	// logical nodes and workers are different populations: even with
+	// every logical node missing, any live worker can be re-assigned the
+	// ranges (AssignRanges fails if none is).
+	return en.remote != nil || len(prep.missing) < en.k
 }
 
 // closeTransport ends the transport's world for transports that have
@@ -312,26 +321,45 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 	// Repair rounds re-gather over this same transport instance, so
 	// gathers must not tear it down on return.
 	en.keepOpen = quorumMode && en.opts.MaxRepairRounds > 0
-	parts := 1
-	if w := en.execWidth(); w > en.k {
-		parts = (w + en.k - 1) / en.k
-	}
-	nodes := make([]*prepNode, 0, en.k)
-	var chunks []prepChunk
-	for id := 0; id < en.k; id++ {
-		lo, hi := en.assign.Range(id)
-		var st *prepNode
-		st, chunks = en.buildShareTasks(len(nodes), id, id, 0, lo, hi, parts, chunks)
-		nodes = append(nodes, st)
-	}
-	computeStart := time.Now()
-	msgs, err := en.runRound(ctx, nodes, chunks, GatherSpec{
+	// A transport that can assign work to remote workers flips the
+	// engine into remote mode: manifests go out instead of local
+	// evaluation, and frames stream back through the same gather.
+	en.remote, _ = en.tr.(RemoteAssigner)
+	spec := GatherSpec{
 		K:        en.k,
 		Quorum:   en.k - en.opts.MaxErasures,
 		Grace:    en.opts.GatherGrace,
 		Round:    0,
 		KeepOpen: en.keepOpen,
-	}, quorumMode)
+	}
+	computeStart := time.Now()
+	var msgs []NodeShares
+	var err error
+	if en.remote != nil {
+		specs := make([]AssignSpec, 0, en.k)
+		for id := 0; id < en.k; id++ {
+			lo, hi := en.assign.Range(id)
+			specs = append(specs, AssignSpec{
+				Owner: id, Round: 0, Lo: lo, Hi: hi,
+				Width: en.w, Primes: en.primes,
+			})
+		}
+		msgs, err = en.runRemoteRound(ctx, specs, spec, quorumMode)
+	} else {
+		parts := 1
+		if w := en.execWidth(); w > en.k {
+			parts = (w + en.k - 1) / en.k
+		}
+		nodes := make([]*prepNode, 0, en.k)
+		var chunks []prepChunk
+		for id := 0; id < en.k; id++ {
+			lo, hi := en.assign.Range(id)
+			var st *prepNode
+			st, chunks = en.buildShareTasks(len(nodes), id, id, 0, lo, hi, parts, chunks)
+			nodes = append(nodes, st)
+		}
+		msgs, err = en.runRound(ctx, nodes, chunks, spec, quorumMode)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -395,6 +423,12 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 		en.report.TotalNodeCompute += m.Elapsed
 		if m.Elapsed > en.report.MaxNodeCompute {
 			en.report.MaxNodeCompute = m.Elapsed
+		}
+		if en.remote != nil {
+			// Remote evaluation reports no per-chunk progress; credit a
+			// range's points (per prime, matching Observer.Geometry's
+			// units) when its frame lands.
+			en.obs.PointsDone((m.Hi - m.Lo) * len(en.primes))
 		}
 	}
 	en.report.ComputeWall = time.Since(computeStart)
@@ -514,6 +548,24 @@ func (en *engine) runRound(ctx context.Context, nodes []*prepNode, chunks []prep
 	return msgs, nil
 }
 
+// runRemoteRound drives one assign/gather round in remote mode: the
+// transport ships each spec's manifest to a live worker and the
+// collector gathers the frames streamed back. GatherSpec.SendsDone
+// stays nil — the engine cannot see when remote workers finish sending,
+// so a quorum gather's deadline discipline rests on the grace timer
+// armed by arrivals; the coordinator turns worker faults into in-band
+// Err frames, which are arrivals too, so a dying cluster still
+// converges instead of waiting out ctx.
+func (en *engine) runRemoteRound(ctx context.Context, specs []AssignSpec, spec GatherSpec, quorumMode bool) ([]NodeShares, error) {
+	if err := en.remote.AssignRanges(ctx, specs); err != nil {
+		return nil, err
+	}
+	if quorumMode {
+		return en.quorumTr.GatherQuorum(ctx, spec)
+	}
+	return en.tr.Gather(ctx, spec.K)
+}
+
 // stageRepair is the self-healing gather: the decode stage has refused
 // (erasures beyond the Reed–Solomon budget), but the missing nodes'
 // point ranges are known, survivors are idle, and evaluation is
@@ -534,32 +586,9 @@ func (en *engine) stageRepair(ctx context.Context, prep *prepared, round int) er
 	for _, id := range prep.missing {
 		still[id] = true
 	}
-	survivors := make([]int, 0, en.k-len(prep.missing))
-	for id := 0; id < en.k; id++ {
-		if !still[id] {
-			survivors = append(survivors, id)
-		}
-	}
-	if len(survivors) == 0 {
-		// canRepair refuses this; keep the invariant locally too.
-		return fmt.Errorf("no surviving nodes to repair %d missing ranges", len(prep.missing))
-	}
 	en.obs.RepairRound(round, append([]int(nil), prep.missing...))
 	repairStart := time.Now()
-	parts := 1
-	if w := en.execWidth(); w > len(prep.missing) {
-		parts = (w + len(prep.missing) - 1) / len(prep.missing)
-	}
-	nodes := make([]*prepNode, 0, len(prep.missing))
-	var chunks []prepChunk
-	for i, id := range prep.missing {
-		sponsor := survivors[(i+round-1)%len(survivors)]
-		lo, hi := en.assign.Range(id)
-		var st *prepNode
-		st, chunks = en.buildShareTasks(len(nodes), id, sponsor, round, lo, hi, parts, chunks)
-		nodes = append(nodes, st)
-	}
-	msgs, err := en.runRound(ctx, nodes, chunks, GatherSpec{
+	spec := GatherSpec{
 		K: en.k,
 		// The round is complete when every re-assigned range has been
 		// heard; the grace timer hands over a partial round (the decode
@@ -568,7 +597,49 @@ func (en *engine) stageRepair(ctx context.Context, prep *prepared, round int) er
 		Grace:    en.opts.GatherGrace,
 		Round:    round,
 		KeepOpen: true,
-	}, true)
+	}
+	var msgs []NodeShares
+	var err error
+	if en.remote != nil {
+		// Remotely there is no sponsor rotation to run here: the
+		// coordinator re-routes each missing range to whichever worker
+		// is live, which is the whole point of separating logical nodes
+		// from physical workers.
+		specs := make([]AssignSpec, 0, len(prep.missing))
+		for _, id := range prep.missing {
+			lo, hi := en.assign.Range(id)
+			specs = append(specs, AssignSpec{
+				Owner: id, Round: round, Lo: lo, Hi: hi,
+				Width: en.w, Primes: en.primes,
+			})
+		}
+		msgs, err = en.runRemoteRound(ctx, specs, spec, true)
+	} else {
+		survivors := make([]int, 0, en.k-len(prep.missing))
+		for id := 0; id < en.k; id++ {
+			if !still[id] {
+				survivors = append(survivors, id)
+			}
+		}
+		if len(survivors) == 0 {
+			// canRepair refuses this; keep the invariant locally too.
+			return fmt.Errorf("no surviving nodes to repair %d missing ranges", len(prep.missing))
+		}
+		parts := 1
+		if w := en.execWidth(); w > len(prep.missing) {
+			parts = (w + len(prep.missing) - 1) / len(prep.missing)
+		}
+		nodes := make([]*prepNode, 0, len(prep.missing))
+		var chunks []prepChunk
+		for i, id := range prep.missing {
+			sponsor := survivors[(i+round-1)%len(survivors)]
+			lo, hi := en.assign.Range(id)
+			var st *prepNode
+			st, chunks = en.buildShareTasks(len(nodes), id, sponsor, round, lo, hi, parts, chunks)
+			nodes = append(nodes, st)
+		}
+		msgs, err = en.runRound(ctx, nodes, chunks, spec, true)
+	}
 	if err != nil {
 		return err
 	}
@@ -598,6 +669,9 @@ func (en *engine) stageRepair(ctx context.Context, prep *prepared, round int) er
 		en.report.TotalNodeCompute += m.Elapsed
 		if m.Elapsed > en.report.MaxNodeCompute {
 			en.report.MaxNodeCompute = m.Elapsed
+		}
+		if en.remote != nil {
+			en.obs.PointsDone((m.Hi - m.Lo) * len(en.primes))
 		}
 	}
 	remaining := prep.missing[:0]

@@ -24,16 +24,15 @@ package core
 // Version-1 frames are rejected with ErrBadFrame like any other
 // unknown format — both ends of a run upgrade together.
 //
-// On the stream the payload travels length-prefixed (see writeFrame /
-// readFrame): a uint32 little-endian byte count, then the payload. The
-// prefix is what lets a reader recover message boundaries from a TCP
-// byte stream; it carries no other meaning.
+// On the stream the payload travels length-prefixed (see WriteFrame /
+// ReadFrame in frame.go): a uint32 little-endian byte count, then the
+// payload. The prefix is what lets a reader recover message boundaries
+// from a TCP byte stream; it carries no other meaning.
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"time"
 )
 
@@ -65,7 +64,7 @@ const (
 )
 
 // EncodeNodeShares serializes m into a fresh payload buffer (without
-// the stream length prefix; writeFrame adds it).
+// the stream length prefix; WriteFrame adds it).
 func EncodeNodeShares(m NodeShares) ([]byte, error) {
 	span := m.Hi - m.Lo
 	if span < 0 || span > maxCodecSpan {
@@ -134,11 +133,10 @@ func EncodeNodeShares(m NodeShares) ([]byte, error) {
 // against the remaining bytes first.
 func DecodeNodeShares(data []byte) (NodeShares, error) {
 	var m NodeShares
-	rest := data
-	if len(rest) < len(sharesMagic) || [4]byte(rest[:4]) != sharesMagic {
+	rest, ok := ConsumeMagic(data, sharesMagic)
+	if !ok {
 		return m, fmt.Errorf("%w: bad magic/version", ErrBadFrame)
 	}
-	rest = rest[4:]
 	word := func() (uint64, bool) {
 		if len(rest) < 8 {
 			return 0, false
@@ -223,48 +221,4 @@ func DecodeNodeShares(data []byte) (NodeShares, error) {
 		m.Vals[pi] = coords
 	}
 	return m, nil
-}
-
-// writeFrame writes one length-prefixed payload to the stream.
-func writeFrame(w io.Writer, payload []byte) error {
-	if len(payload) > maxFrameBytesHardCap {
-		return fmt.Errorf("core: frame payload %d bytes exceeds hard cap", len(payload))
-	}
-	var prefix [4]byte
-	binary.LittleEndian.PutUint32(prefix[:], uint32(len(payload)))
-	if _, err := w.Write(prefix[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-// maxFrameBytesHardCap bounds any frame regardless of configuration —
-// a backstop against a misconfigured or hostile peer.
-const maxFrameBytesHardCap = 1 << 30
-
-// readFrame reads one length-prefixed payload, rejecting claims above
-// maxBytes with ErrBadFrame before allocating. io.EOF before the first
-// prefix byte is a clean end of stream; a partial frame surfaces as
-// io.ErrUnexpectedEOF (the connection died, not a protocol violation).
-func readFrame(r io.Reader, maxBytes int) ([]byte, error) {
-	var prefix [4]byte
-	if _, err := io.ReadFull(r, prefix[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(prefix[:])
-	if maxBytes <= 0 || maxBytes > maxFrameBytesHardCap {
-		maxBytes = maxFrameBytesHardCap
-	}
-	if n > uint32(maxBytes) {
-		return nil, fmt.Errorf("%w: length prefix claims %d bytes, cap %d", ErrBadFrame, n, maxBytes)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
-	}
-	return payload, nil
 }

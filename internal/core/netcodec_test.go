@@ -210,7 +210,7 @@ func TestReadFrameRejectsOversizedClaim(t *testing.T) {
 	binary.LittleEndian.PutUint32(prefix[:], 1<<28)
 	buf.Write(prefix[:])
 	buf.WriteString("tiny")
-	if _, err := readFrame(&buf, 1<<20); !errors.Is(err, ErrBadFrame) {
+	if _, err := ReadFrame(&buf, 1<<20); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("oversized claim: err = %v, want ErrBadFrame", err)
 	}
 }
@@ -218,18 +218,18 @@ func TestReadFrameRejectsOversizedClaim(t *testing.T) {
 func TestFrameRoundTripAndPartials(t *testing.T) {
 	payload := []byte("the collector expects exactly this")
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, payload); err != nil {
+	if err := WriteFrame(&buf, payload); err != nil {
 		t.Fatal(err)
 	}
 	stream := append([]byte{}, buf.Bytes()...)
-	got, err := readFrame(bytes.NewReader(stream), 0)
+	got, err := ReadFrame(bytes.NewReader(stream), 0)
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("round trip: %q, %v", got, err)
 	}
 	// A stream cut mid-frame is a died connection, not a protocol
 	// violation: io.ErrUnexpectedEOF, never ErrBadFrame.
 	for n := 1; n < len(stream); n++ {
-		_, err := readFrame(bytes.NewReader(stream[:n]), 0)
+		_, err := ReadFrame(bytes.NewReader(stream[:n]), 0)
 		if errors.Is(err, ErrBadFrame) {
 			t.Fatalf("cut at %d misread as protocol violation", n)
 		}
@@ -238,7 +238,7 @@ func TestFrameRoundTripAndPartials(t *testing.T) {
 		}
 	}
 	// And a clean end before any prefix byte is io.EOF.
-	if _, err := readFrame(bytes.NewReader(nil), 0); err != io.EOF {
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
 		t.Fatalf("empty stream: %v, want io.EOF", err)
 	}
 }

@@ -228,3 +228,29 @@ func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width i
 	}
 	return nil
 }
+
+// EvaluateShares computes one complete NodeShares message for the
+// point range [lo, hi): every prime's width×span evaluation block,
+// stamped with the logical owner, the physical sender, and the gather
+// round. It is the worker daemon's whole compute path (internal/ctrl),
+// and it reuses the engine's evaluateRange so a remotely produced
+// frame is bit-identical to what the in-process prepare stage would
+// have broadcast — the property the multi-process bit-identity checks
+// pin. Block size autotunes exactly as in-process evaluation does.
+func EvaluateShares(ctx context.Context, p Problem, primes []uint64, owner, from, round, lo, hi int) (NodeShares, error) {
+	m := NodeShares{
+		ID: owner, From: from, Round: round,
+		Lo: lo, Hi: hi,
+		Vals: make([][][]uint64, len(primes)),
+	}
+	start := time.Now()
+	for pi, q := range primes {
+		vals, err := evaluateRange(ctx, p, q, lo, hi, p.Width(), 0)
+		if err != nil {
+			return m, err
+		}
+		m.Vals[pi] = vals
+	}
+	m.Elapsed = time.Since(start)
+	return m, nil
+}

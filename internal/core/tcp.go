@@ -227,7 +227,7 @@ func (t *TCPTransport) readConn(conn net.Conn) {
 		t.wg.Done()
 	}()
 	for {
-		payload, err := readFrame(conn, t.cfg.MaxFrameBytes)
+		payload, err := ReadFrame(conn, t.cfg.MaxFrameBytes)
 		if err != nil {
 			// A clean EOF or a died connection is a delivery fault the
 			// quorum gather absorbs; only protocol violations count as
@@ -333,7 +333,7 @@ func (t *TCPTransport) sendOnce(ctx context.Context, payload []byte) error {
 		case <-stop:
 		}
 	}()
-	return writeFrame(conn, payload)
+	return WriteFrame(conn, payload)
 }
 
 // Gather implements Transport (strict: counts raw messages); see

@@ -152,7 +152,7 @@ func TestTCPMalformedFramesCostTheConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(c1, []byte("not a NodeShares payload")); err != nil {
+	if err := WriteFrame(c1, []byte("not a NodeShares payload")); err != nil {
 		t.Fatal(err)
 	}
 	c1.Close()

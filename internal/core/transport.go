@@ -145,6 +145,51 @@ type SendDrainer interface {
 // message state while Options values are routinely reused across runs.
 type TransportFactory func(k int) Transport
 
+// AssignSpec names one point range the engine wants evaluated remotely:
+// the logical node that owns it (what decoders index by), the gather
+// round its frames must carry, and the geometry a worker needs to
+// reproduce the evaluation bit for bit (Evaluate is deterministic in
+// (q, x0), so any worker produces the same words). The problem instance
+// itself travels out of band — a remote transport is constructed around
+// a specific workload.
+type AssignSpec struct {
+	// Owner is the logical node id in [0, K) whose range this is; the
+	// frames that come back carry it as NodeShares.ID.
+	Owner int
+	// Round tags the gather round the resulting frames belong to
+	// (NodeShares.Round; 0 for the initial prepare, >= 1 for repairs).
+	Round int
+	// Lo, Hi bound the owned point range [Lo, Hi).
+	Lo, Hi int
+	// Width is the proof polynomial's coordinate count.
+	Width int
+	// Primes are the proof moduli, in proof order.
+	Primes []uint64
+}
+
+// RemoteAssigner is the optional Transport capability behind remote
+// (multi-process) runs: instead of the engine evaluating ranges on its
+// own worker pool and Send-ing the results, AssignRanges ships each
+// range's manifest to a live remote worker, which evaluates and streams
+// NodeShares frames back through the transport's gather side. The
+// engine detects the capability by type assertion in stagePrepare and
+// switches the prepare and repair stages to assignment mode; a repair
+// round re-assigns a missing range with its new Round tag. AssignRanges
+// returns once every spec has been handed to some worker (not once
+// results arrive) — delivery is judged by the gather, like any Send.
+type RemoteAssigner interface {
+	AssignRanges(ctx context.Context, specs []AssignSpec) error
+}
+
+// GatherShares runs the shared quorum-gather loop over ch under spec.
+// It exists for transports implemented outside this package (the
+// control-protocol coordinator in internal/ctrl) so their GatherQuorum
+// has byte-for-byte the engine's gather semantics: distinct-sender
+// counting, round filtering, grace timing, and the post-quorum drain.
+func GatherShares(ctx context.Context, ch <-chan NodeShares, spec GatherSpec) ([]NodeShares, error) {
+	return gatherQuorum(ctx, ch, spec)
+}
+
 // BroadcastBus is the default in-memory transport: a reliable,
 // order-preserving broadcast channel with capacity for every node's
 // message, so Send never blocks in a fault-free run.

@@ -1,0 +1,463 @@
+// Package ctrl is the control protocol that turns the share transport
+// into a multi-process deployment: a coordinator that owns a run's
+// geometry and only gathers/decodes/verifies, and worker daemons that
+// join it over TCP, receive point-range assignments, evaluate locally,
+// and stream NodeShares frames back. The protocol is deliberately
+// small — hello/helloAck negotiate a version and a worker slot, assign
+// carries a range manifest, shares reuses the 'CMS'2 codec verbatim,
+// and done/error end things — layered over the same length-prefixed
+// framing (core.WriteFrame/ReadFrame) the share transport speaks.
+//
+// Every control payload travels in one envelope:
+//
+//	magic 'C' 'M' 'C' 1
+//	tag (1 byte) | seq (uint64 LE) | macLen (1 byte: 0 or 32)
+//	macLen bytes of HMAC-SHA256 | body
+//
+// The MAC covers magic‖tag‖seq‖body under a per-connection session key
+// derived from the shared secret and the coordinator's hello challenge
+// (see auth.go); hello and helloAck travel before the key exists and
+// are the only messages allowed unauthenticated on a keyed connection.
+// Like the share codec, decoding is canonical — DecodeControl accepts
+// exactly the bytes EncodeControl produces, every claimed length is
+// checked against the bytes present before allocating, and any
+// violation is a typed ErrBadFrame, never a panic.
+package ctrl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"camelot/internal/core"
+)
+
+// ProtocolVersion is this build's control-protocol version. The
+// handshake negotiates min(coordinator, worker); version 0 is refused.
+const ProtocolVersion = 1
+
+// ctrlMagic guards control frames against unrelated bytes (including
+// 'CMS' share frames arriving on the wrong port); the trailing byte is
+// the format version.
+var ctrlMagic = [4]byte{'C', 'M', 'C', 1}
+
+// Control message tags, one per message kind in the envelope's tag
+// byte. The zero value is deliberately invalid.
+const (
+	TagHello    byte = 1 // worker → coordinator: join request
+	TagHelloAck byte = 2 // coordinator → worker: slot grant + challenge
+	TagAssign   byte = 3 // coordinator → worker: one range manifest
+	TagShares   byte = 4 // worker → coordinator: 'CMS'2 payload verbatim
+	TagDone     byte = 5 // coordinator → worker: run over, disconnect
+	TagError    byte = 6 // either direction: typed refusal, then close
+)
+
+// ErrBadFrame is the typed rejection of a malformed control frame. It
+// deliberately mirrors core.ErrBadFrame: past either, the stream
+// cannot be trusted to be in sync and the connection must drop.
+var ErrBadFrame = errors.New("ctrl: malformed control frame")
+
+// Codec sanity bounds: a frame claiming more is rejected before any
+// allocation. Instances are textual workload specs, so 1 MiB is
+// generous; everything else is protocol-metadata sized.
+const (
+	maxNameLen     = 256
+	maxCaps        = 64
+	maxCapLen      = 128
+	maxKindLen     = 256
+	maxInstanceLen = 1 << 20
+	maxPrimes      = 64
+	maxErrMsgLen   = 1 << 16
+	maxCtrlInt     = 1 << 31 // ids, rounds, geometry words stay int-exact everywhere
+)
+
+// macSize is the only authenticated-MAC length the envelope admits
+// (HMAC-SHA256).
+const macSize = 32
+
+// Frame is one decoded control envelope: the tag, the connection
+// sequence number, the authentication tag (nil when unauthenticated,
+// exactly 32 bytes otherwise), and the still-encoded message body.
+type Frame struct {
+	Tag  byte
+	Seq  uint64
+	MAC  []byte
+	Body []byte
+}
+
+// Hello is the worker's join request: its protocol version, an
+// optional resume token from a previous session on this coordinator
+// (empty for a fresh join, exactly 16 bytes to reattach), a display
+// name, and free-form capability strings for future negotiation.
+type Hello struct {
+	Version int
+	Resume  []byte
+	Name    string
+	Caps    []string
+}
+
+// HelloAck is the coordinator's grant: the negotiated version, the
+// worker slot in [0, K), the run's node count K, the resume token that
+// reattaches this slot after a reconnect, and the random challenge the
+// session key is derived from.
+type HelloAck struct {
+	Version   int
+	Worker    int
+	K         int
+	Resume    [16]byte
+	Challenge [16]byte
+}
+
+// Assign is one range manifest: evaluate the proof polynomial for
+// logical node Owner over points [Lo, Hi) for every prime, in a run
+// identified by Job, and send the result back tagged with Round. Kind
+// and Instance name the problem so a worker can rebuild it
+// deterministically (see RegisterProblem) — Evaluate is deterministic
+// in (q, x0), so the frames that come back are bit-identical to what
+// an in-process run would have produced.
+type Assign struct {
+	Job      int
+	Owner    int
+	Round    int
+	Lo, Hi   int
+	Width    int
+	Primes   []uint64
+	Kind     string
+	Instance []byte
+}
+
+// Done tells a worker the run is over and the connection is closing.
+type Done struct {
+	Job int
+}
+
+// ErrorMsg is a typed refusal: a stable machine code and a
+// human-readable message. Either side sends it just before closing.
+type ErrorMsg struct {
+	Code int
+	Msg  string
+}
+
+// Error codes carried by ErrorMsg.
+const (
+	CodeVersion    = 1 // no mutually supported protocol version
+	CodeClusterFul = 2 // every worker slot is taken and live
+	CodeAuth       = 3 // authentication failure
+	CodeBadFrame   = 4 // peer sent a malformed frame
+	CodeWorker     = 5 // worker-side evaluation failure
+)
+
+func appendUint(buf []byte, v int) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// encodeBody serializes one typed message into its body bytes,
+// validating the same bounds decodeBody enforces so an encoded frame
+// is always decodable (the canonical-roundtrip property the fuzzer
+// pins).
+func encodeBody(msg any) (tag byte, body []byte, err error) {
+	switch m := msg.(type) {
+	case Hello:
+		if m.Version < 0 || m.Version >= maxCtrlInt {
+			return 0, nil, fmt.Errorf("ctrl: encode hello: bad version %d", m.Version)
+		}
+		if len(m.Resume) != 0 && len(m.Resume) != 16 {
+			return 0, nil, fmt.Errorf("ctrl: encode hello: resume token must be empty or 16 bytes, got %d", len(m.Resume))
+		}
+		if len(m.Name) > maxNameLen {
+			return 0, nil, fmt.Errorf("ctrl: encode hello: name %d bytes exceeds %d", len(m.Name), maxNameLen)
+		}
+		if len(m.Caps) > maxCaps {
+			return 0, nil, fmt.Errorf("ctrl: encode hello: %d caps exceeds %d", len(m.Caps), maxCaps)
+		}
+		body = appendUint(body, m.Version)
+		body = appendBytes(body, m.Resume)
+		body = appendBytes(body, []byte(m.Name))
+		body = appendUint(body, len(m.Caps))
+		for _, c := range m.Caps {
+			if len(c) > maxCapLen {
+				return 0, nil, fmt.Errorf("ctrl: encode hello: cap %d bytes exceeds %d", len(c), maxCapLen)
+			}
+			body = appendBytes(body, []byte(c))
+		}
+		return TagHello, body, nil
+	case HelloAck:
+		if m.Version < 0 || m.Version >= maxCtrlInt || m.Worker < 0 || m.Worker >= maxCtrlInt ||
+			m.K < 0 || m.K >= maxCtrlInt {
+			return 0, nil, fmt.Errorf("ctrl: encode helloAck: bad version=%d worker=%d k=%d", m.Version, m.Worker, m.K)
+		}
+		body = appendUint(body, m.Version)
+		body = appendUint(body, m.Worker)
+		body = appendUint(body, m.K)
+		body = append(body, m.Resume[:]...)
+		body = append(body, m.Challenge[:]...)
+		return TagHelloAck, body, nil
+	case Assign:
+		if m.Job < 0 || m.Job >= maxCtrlInt || m.Owner < 0 || m.Owner >= maxCtrlInt ||
+			m.Round < 0 || m.Round >= maxCtrlInt || m.Lo < 0 || m.Hi < m.Lo || m.Hi >= maxCtrlInt ||
+			m.Width <= 0 || m.Width >= maxCtrlInt {
+			return 0, nil, fmt.Errorf("ctrl: encode assign: bad geometry job=%d owner=%d round=%d range=[%d,%d) width=%d",
+				m.Job, m.Owner, m.Round, m.Lo, m.Hi, m.Width)
+		}
+		if len(m.Primes) == 0 || len(m.Primes) > maxPrimes {
+			return 0, nil, fmt.Errorf("ctrl: encode assign: %d primes (want 1..%d)", len(m.Primes), maxPrimes)
+		}
+		if len(m.Kind) == 0 || len(m.Kind) > maxKindLen {
+			return 0, nil, fmt.Errorf("ctrl: encode assign: kind %d bytes (want 1..%d)", len(m.Kind), maxKindLen)
+		}
+		if len(m.Instance) > maxInstanceLen {
+			return 0, nil, fmt.Errorf("ctrl: encode assign: instance %d bytes exceeds %d", len(m.Instance), maxInstanceLen)
+		}
+		body = appendUint(body, m.Job)
+		body = appendUint(body, m.Owner)
+		body = appendUint(body, m.Round)
+		body = appendUint(body, m.Lo)
+		body = appendUint(body, m.Hi)
+		body = appendUint(body, m.Width)
+		body = appendUint(body, len(m.Primes))
+		for _, q := range m.Primes {
+			body = binary.LittleEndian.AppendUint64(body, q)
+		}
+		body = appendBytes(body, []byte(m.Kind))
+		body = appendBytes(body, m.Instance)
+		return TagAssign, body, nil
+	case core.NodeShares:
+		payload, err := core.EncodeNodeShares(m)
+		if err != nil {
+			return 0, nil, err
+		}
+		return TagShares, payload, nil
+	case Done:
+		if m.Job < 0 || m.Job >= maxCtrlInt {
+			return 0, nil, fmt.Errorf("ctrl: encode done: bad job %d", m.Job)
+		}
+		return TagDone, appendUint(nil, m.Job), nil
+	case ErrorMsg:
+		if m.Code < 0 || m.Code >= maxCtrlInt {
+			return 0, nil, fmt.Errorf("ctrl: encode error: bad code %d", m.Code)
+		}
+		if len(m.Msg) > maxErrMsgLen {
+			return 0, nil, fmt.Errorf("ctrl: encode error: message %d bytes exceeds %d", len(m.Msg), maxErrMsgLen)
+		}
+		body = appendUint(body, m.Code)
+		body = appendBytes(body, []byte(m.Msg))
+		return TagError, body, nil
+	default:
+		return 0, nil, fmt.Errorf("ctrl: encode: unsupported message type %T", msg)
+	}
+}
+
+// EncodeMessage builds one complete control payload (without the
+// stream length prefix; core.WriteFrame adds it): the envelope for
+// msg's tag at sequence seq, authenticated under key when key is
+// non-nil. msg must be one of Hello, HelloAck, Assign,
+// core.NodeShares, Done, or ErrorMsg.
+func EncodeMessage(seq uint64, key []byte, msg any) ([]byte, error) {
+	tag, body, err := encodeBody(msg)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeControl(Frame{Tag: tag, Seq: seq, MAC: computeMAC(key, tag, seq, body), Body: body}), nil
+}
+
+// EncodeControl assembles a frame's envelope bytes. The frame is
+// trusted (built by EncodeMessage or a test); DecodeControl is where
+// validation lives.
+func EncodeControl(f Frame) []byte {
+	buf := make([]byte, 0, len(ctrlMagic)+1+8+1+len(f.MAC)+len(f.Body))
+	buf = append(buf, ctrlMagic[:]...)
+	buf = append(buf, f.Tag)
+	buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+	buf = append(buf, byte(len(f.MAC)))
+	buf = append(buf, f.MAC...)
+	buf = append(buf, f.Body...)
+	return buf
+}
+
+// DecodeControl parses one control payload into its envelope and typed
+// message. Every failure wraps ErrBadFrame (a TagShares body failure
+// wraps core.ErrBadFrame, which callers treat identically), no claimed
+// length allocates past the bytes present, and a successful decode
+// re-encodes byte-identically (pinned by FuzzDecodeControl). MAC
+// verification is the caller's job — the envelope only constrains the
+// length to 0 or 32.
+func DecodeControl(payload []byte) (Frame, any, error) {
+	var f Frame
+	rest, ok := core.ConsumeMagic(payload, ctrlMagic)
+	if !ok {
+		return f, nil, fmt.Errorf("%w: bad magic/version", ErrBadFrame)
+	}
+	if len(rest) < 1+8+1 {
+		return f, nil, fmt.Errorf("%w: truncated envelope", ErrBadFrame)
+	}
+	f.Tag = rest[0]
+	f.Seq = binary.LittleEndian.Uint64(rest[1:9])
+	macLen := int(rest[9])
+	rest = rest[10:]
+	if macLen != 0 && macLen != macSize {
+		return f, nil, fmt.Errorf("%w: mac length %d (want 0 or %d)", ErrBadFrame, macLen, macSize)
+	}
+	if len(rest) < macLen {
+		return f, nil, fmt.Errorf("%w: truncated mac", ErrBadFrame)
+	}
+	if macLen > 0 {
+		f.MAC = rest[:macLen:macLen]
+		rest = rest[macLen:]
+	}
+	f.Body = rest
+	msg, err := decodeBody(f.Tag, rest)
+	if err != nil {
+		return f, nil, err
+	}
+	return f, msg, nil
+}
+
+// bodyReader cursors over a message body with bounds-checked reads;
+// any overrun poisons it and the final done() check reports both
+// overruns and trailing garbage (which would break canonical
+// re-encoding).
+type bodyReader struct {
+	rest []byte
+	bad  bool
+}
+
+func (r *bodyReader) word() uint64 {
+	if r.bad || len(r.rest) < 8 {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.rest)
+	r.rest = r.rest[8:]
+	return v
+}
+
+// intWord reads a word that must fit the int range every id, round,
+// and geometry value lives in.
+func (r *bodyReader) intWord() int {
+	v := r.word()
+	if v >= maxCtrlInt {
+		r.bad = true
+		return 0
+	}
+	return int(v)
+}
+
+// bytes reads a length-prefixed byte string of at most max bytes.
+func (r *bodyReader) bytes(max int) []byte {
+	n := r.word()
+	if r.bad || n > uint64(max) || n > uint64(len(r.rest)) {
+		r.bad = true
+		return nil
+	}
+	b := r.rest[:n:n]
+	r.rest = r.rest[n:]
+	return b
+}
+
+// raw reads exactly n unprefixed bytes.
+func (r *bodyReader) raw(n int) []byte {
+	if r.bad || len(r.rest) < n {
+		r.bad = true
+		return nil
+	}
+	b := r.rest[:n:n]
+	r.rest = r.rest[n:]
+	return b
+}
+
+func (r *bodyReader) done() bool { return !r.bad && len(r.rest) == 0 }
+
+func decodeBody(tag byte, body []byte) (any, error) {
+	r := &bodyReader{rest: body}
+	switch tag {
+	case TagHello:
+		var m Hello
+		m.Version = r.intWord()
+		resume := r.bytes(16)
+		if len(resume) != 0 && len(resume) != 16 {
+			return nil, fmt.Errorf("%w: hello resume token %d bytes", ErrBadFrame, len(resume))
+		}
+		if len(resume) > 0 {
+			m.Resume = append([]byte(nil), resume...)
+		}
+		m.Name = string(r.bytes(maxNameLen))
+		nCaps := r.intWord()
+		if r.bad || nCaps > maxCaps {
+			return nil, fmt.Errorf("%w: malformed hello", ErrBadFrame)
+		}
+		for i := 0; i < nCaps; i++ {
+			m.Caps = append(m.Caps, string(r.bytes(maxCapLen)))
+		}
+		if !r.done() {
+			return nil, fmt.Errorf("%w: malformed hello", ErrBadFrame)
+		}
+		return m, nil
+	case TagHelloAck:
+		var m HelloAck
+		m.Version = r.intWord()
+		m.Worker = r.intWord()
+		m.K = r.intWord()
+		copy(m.Resume[:], r.raw(16))
+		copy(m.Challenge[:], r.raw(16))
+		if !r.done() {
+			return nil, fmt.Errorf("%w: malformed helloAck", ErrBadFrame)
+		}
+		return m, nil
+	case TagAssign:
+		var m Assign
+		m.Job = r.intWord()
+		m.Owner = r.intWord()
+		m.Round = r.intWord()
+		m.Lo = r.intWord()
+		m.Hi = r.intWord()
+		m.Width = r.intWord()
+		nPrimes := r.intWord()
+		if r.bad || nPrimes == 0 || nPrimes > maxPrimes || m.Hi < m.Lo || m.Width <= 0 {
+			return nil, fmt.Errorf("%w: malformed assign", ErrBadFrame)
+		}
+		m.Primes = make([]uint64, nPrimes)
+		for i := range m.Primes {
+			m.Primes[i] = r.word()
+		}
+		kind := r.bytes(maxKindLen)
+		if len(kind) == 0 {
+			return nil, fmt.Errorf("%w: assign without problem kind", ErrBadFrame)
+		}
+		m.Kind = string(kind)
+		m.Instance = append([]byte(nil), r.bytes(maxInstanceLen)...)
+		if len(m.Instance) == 0 {
+			m.Instance = nil
+		}
+		if !r.done() {
+			return nil, fmt.Errorf("%w: malformed assign", ErrBadFrame)
+		}
+		return m, nil
+	case TagShares:
+		m, err := core.DecodeNodeShares(body)
+		if err != nil {
+			return nil, err // wraps core.ErrBadFrame
+		}
+		return m, nil
+	case TagDone:
+		m := Done{Job: r.intWord()}
+		if !r.done() {
+			return nil, fmt.Errorf("%w: malformed done", ErrBadFrame)
+		}
+		return m, nil
+	case TagError:
+		var m ErrorMsg
+		m.Code = r.intWord()
+		m.Msg = string(r.bytes(maxErrMsgLen))
+		if !r.done() {
+			return nil, fmt.Errorf("%w: malformed error", ErrBadFrame)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadFrame, tag)
+	}
+}

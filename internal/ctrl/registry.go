@@ -1,0 +1,51 @@
+package ctrl
+
+// The problem registry maps an Assign's (kind, instance) pair to a
+// runnable core.Problem. A worker process has no closure over the
+// coordinator's problem value — it must rebuild one from the wire
+// encoding, and the rebuild must be deterministic so its evaluations
+// are bit-identical to the coordinator's in-process run. The facade
+// package registers constructors for every workload it can describe
+// textually (seeded random instances included); tests register their
+// own kinds.
+
+import (
+	"fmt"
+	"sync"
+
+	"camelot/internal/core"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func(instance []byte) (core.Problem, error){}
+)
+
+// RegisterProblem installs the constructor for one problem kind.
+// Registering the same kind twice panics — two constructors for one
+// wire name is a programming error that would silently desynchronize
+// coordinator and worker.
+func RegisterProblem(kind string, build func(instance []byte) (core.Problem, error)) {
+	if kind == "" || build == nil {
+		panic("ctrl: RegisterProblem with empty kind or nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("ctrl: RegisterProblem called twice for kind %q", kind))
+	}
+	registry[kind] = build
+}
+
+// buildProblem resolves an assignment's problem. Unknown kinds are a
+// deployment skew (worker binary missing a registration), reported as
+// such.
+func buildProblem(kind string, instance []byte) (core.Problem, error) {
+	regMu.RLock()
+	build := registry[kind]
+	regMu.RUnlock()
+	if build == nil {
+		return nil, fmt.Errorf("ctrl: unknown problem kind %q (worker build missing its registration?)", kind)
+	}
+	return build(instance)
+}

@@ -1,0 +1,224 @@
+package ctrl
+
+// The worker daemon: dial the coordinator, handshake into a slot,
+// evaluate whatever ranges arrive, stream the frames back, repeat
+// until told Done. A worker holds no run state beyond its problem
+// cache and its resume token — everything it needs to produce
+// bit-identical shares travels in the Assign manifest, and evaluation
+// goes through core.EvaluateShares, the same range evaluator the
+// in-process engine uses. A dropped connection is retried with
+// exponential backoff; presenting the resume token reattaches the same
+// slot, and the coordinator replays any assignment whose shares never
+// landed, so a mid-run blip costs latency, not the run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"camelot/internal/core"
+)
+
+// ErrFailInjected is returned by a worker whose WorkerConfig.FailOwner
+// fault was triggered — the churn tests' and examples' way of killing
+// a worker at a deterministic point in the protocol.
+var ErrFailInjected = errors.New("ctrl: injected worker failure")
+
+// WorkerConfig parameterizes RunWorker.
+type WorkerConfig struct {
+	// Join is the coordinator's TCP address (required).
+	Join string
+	// Secret must match the coordinator's; empty means the cluster runs
+	// unauthenticated.
+	Secret []byte
+	// Name is a display name carried in hello (defaults to the local
+	// address).
+	Name string
+	// MaxFrameBytes caps accepted control frames (default 64 MiB).
+	MaxFrameBytes int
+	// DialTimeout bounds each dial attempt (default 2s); RetryBackoff
+	// is the initial reconnect delay, doubling to 2s (default 100ms).
+	DialTimeout  time.Duration
+	RetryBackoff time.Duration
+	// MaxAttempts bounds *consecutive failed* connection attempts
+	// before the daemon gives up (default 5); any successful handshake
+	// resets the count.
+	MaxAttempts int
+	// FailOwner > 0 makes the worker die (ErrFailInjected) the moment a
+	// round-0 assignment names that logical node — a deterministic
+	// fault-injection knob for churn tests and the multiproc example.
+	// Restricting it to round 0 means every worker in a cluster can
+	// carry the same knob (which worker draws the fated owner is a join
+	// race) and the repair round's re-assignment still succeeds on a
+	// survivor. Node 0 is not injectable: 0 is the disabled value.
+	FailOwner int
+}
+
+func (cfg WorkerConfig) withDefaults() WorkerConfig {
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = 64 << 20
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	return cfg
+}
+
+// RunWorker runs the daemon until the coordinator says Done (nil), the
+// context ends, a terminal refusal arrives, or reconnection is
+// exhausted.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Join == "" {
+		return fmt.Errorf("ctrl: worker needs a coordinator address")
+	}
+	problems := map[string]core.Problem{}
+	var resume []byte
+	backoff := cfg.RetryBackoff
+	failures := 0
+	for {
+		joined, terminal, err := serveWorker(ctx, cfg, &resume, problems)
+		if terminal {
+			return err
+		}
+		if joined {
+			// The session worked until the connection died: fresh
+			// patience for the reconnect.
+			failures = 0
+			backoff = cfg.RetryBackoff
+		} else {
+			failures++
+			if failures >= cfg.MaxAttempts {
+				return fmt.Errorf("ctrl: giving up on %s after %d failed attempts: %w", cfg.Join, failures, err)
+			}
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// serveWorker runs one connection's lifetime. joined reports whether
+// the handshake completed (resets the retry budget); terminal means
+// RunWorker must return err instead of reconnecting.
+func serveWorker(ctx context.Context, cfg WorkerConfig, resume *[]byte, problems map[string]core.Problem) (joined, terminal bool, err error) {
+	conn, err := net.DialTimeout("tcp", cfg.Join, cfg.DialTimeout)
+	if err != nil {
+		return false, false, err
+	}
+	defer conn.Close()
+	// The context must be able to interrupt blocking reads.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	wc := newWireConn(conn, cfg.MaxFrameBytes)
+	name := cfg.Name
+	if name == "" {
+		name = conn.LocalAddr().String()
+	}
+	if err := wc.send(Hello{Version: ProtocolVersion, Resume: *resume, Name: name}); err != nil {
+		return false, false, err
+	}
+	_, msg, err := wc.recv()
+	if err != nil {
+		return false, false, err
+	}
+	ack, ok := msg.(HelloAck)
+	if !ok {
+		if em, isErr := msg.(ErrorMsg); isErr {
+			return false, true, fmt.Errorf("ctrl: coordinator refused join: %s (code %d)", em.Msg, em.Code)
+		}
+		return false, false, fmt.Errorf("%w: expected helloAck, got tag for %T", ErrBadFrame, msg)
+	}
+	if ack.Version < 1 || ack.Version > ProtocolVersion {
+		return false, true, fmt.Errorf("ctrl: coordinator negotiated unsupported protocol version %d", ack.Version)
+	}
+	*resume = append((*resume)[:0], ack.Resume[:]...)
+	wc.key = deriveKey(cfg.Secret, ack.Challenge)
+	joined = true
+	for {
+		_, msg, err := wc.recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return joined, true, ctx.Err()
+			}
+			return joined, false, err
+		}
+		switch m := msg.(type) {
+		case Assign:
+			if cfg.FailOwner > 0 && m.Owner == cfg.FailOwner && m.Round == 0 {
+				return joined, true, fmt.Errorf("%w: assigned node %d", ErrFailInjected, m.Owner)
+			}
+			if err := runAssign(ctx, wc, ack.Worker, m, problems); err != nil {
+				if ctx.Err() != nil {
+					return joined, true, ctx.Err()
+				}
+				return joined, false, err
+			}
+		case Done:
+			return joined, true, nil
+		case ErrorMsg:
+			return joined, true, fmt.Errorf("ctrl: coordinator error: %s (code %d)", m.Msg, m.Code)
+		default:
+			return joined, false, fmt.Errorf("%w: unexpected %T mid-session", ErrBadFrame, msg)
+		}
+	}
+}
+
+// runAssign evaluates one manifest and streams the result back. An
+// evaluation-side failure — unknown kind, geometry skew, a problem
+// error — travels as an in-band Err frame: a delivery outcome the
+// coordinator's fault accounting understands, not a silent hang.
+func runAssign(ctx context.Context, wc *wireConn, slot int, m Assign, problems map[string]core.Problem) error {
+	shares, err := evaluateAssign(ctx, slot, m, problems)
+	if err != nil {
+		if ctx.Err() != nil {
+			return err
+		}
+		msg := err.Error()
+		if len(msg) > maxErrMsgLen {
+			msg = msg[:maxErrMsgLen]
+		}
+		shares = core.NodeShares{
+			ID: m.Owner, From: slot, Round: m.Round, Lo: m.Lo, Hi: m.Hi,
+			Err: &core.RemoteError{Msg: msg},
+		}
+	}
+	return wc.send(shares)
+}
+
+func evaluateAssign(ctx context.Context, slot int, m Assign, problems map[string]core.Problem) (core.NodeShares, error) {
+	cacheKey := m.Kind + "\x00" + string(m.Instance)
+	p, ok := problems[cacheKey]
+	if !ok {
+		var err error
+		p, err = buildProblem(m.Kind, m.Instance)
+		if err != nil {
+			return core.NodeShares{}, err
+		}
+		problems[cacheKey] = p
+	}
+	if w := p.Width(); w != m.Width {
+		return core.NodeShares{}, fmt.Errorf("ctrl: assign width %d but problem %q has width %d (build skew?)", m.Width, m.Kind, w)
+	}
+	return core.EvaluateShares(ctx, p, m.Primes, m.Owner, slot, m.Round, m.Lo, m.Hi)
+}
