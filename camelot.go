@@ -389,6 +389,18 @@ func WithMaxRepairRounds(n int) RunOption {
 	return runOption(func(rs *runSettings) { rs.opts.MaxRepairRounds = n })
 }
 
+// WithPriority sets the run's scheduling weight on the cluster's shared
+// pool: each cycle of the pool's between-runs round-robin lets this run
+// claim weight tasks where a default run claims one. Values below 1
+// (including the default 0) mean weight 1. Weights shape shares, not
+// admission — every run with work left still claims at least one task
+// per cycle, so a low-priority run is never starved. This is the knob a
+// multi-tenant proof service uses to give some tenants a larger slice
+// of a contended cluster.
+func WithPriority(weight int) RunOption {
+	return runOption(func(rs *runSettings) { rs.opts.Priority = weight })
+}
+
 // WithStrassenTensor selects the rank-7 ⟨2,2,2⟩ decomposition
 // (ω = log2 7) for the matrix-multiplication-based designs. The default.
 func WithStrassenTensor() RunOption {

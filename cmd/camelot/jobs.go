@@ -33,6 +33,7 @@ import (
 type manifestJob struct {
 	line    int
 	kind    string
+	digest  func(faults int) string // the proof-cache key of this line
 	problem camelot.CountingProblem
 }
 
@@ -59,7 +60,7 @@ func parseManifest(path string) ([]manifestJob, error) {
 		if err != nil {
 			return nil, fmt.Errorf("manifest line %d: %w", lineNo, err)
 		}
-		jobs = append(jobs, manifestJob{line: lineNo, kind: w.Kind, problem: w.Problem})
+		jobs = append(jobs, manifestJob{line: lineNo, kind: w.Kind, digest: w.Digest, problem: w.Problem})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -125,8 +126,10 @@ func runJobs(rest []string) error {
 			}
 			continue
 		}
-		fmt.Printf("  [%2d] %-30s count=%v  (%d proof symbols, suspects %v)\n",
-			i, rep.Problem, count, rep.ProofSymbols, rep.SuspectNodes)
+		// The digest is the same content-address `camelot serve` caches
+		// under, so a manifest run's proofs are findable in a service.
+		fmt.Printf("  [%2d] %-30s count=%v  (%d proof symbols, suspects %v, digest %s)\n",
+			i, rep.Problem, count, rep.ProofSymbols, rep.SuspectNodes, specs[i].digest(cf.faults)[:12])
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("%d jobs in %v — %.2f jobs/sec\n",

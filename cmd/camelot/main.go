@@ -22,6 +22,13 @@
 //
 //	camelot jobs -manifest workload.txt -nodes 4
 //
+// The serve subcommand exposes the cluster as a multi-tenant HTTP proof
+// service with a content-addressed proof cache, per-tenant quotas and
+// priorities, and bounded admission (see serve.go and ARCHITECTURE.md
+// "Proof service"):
+//
+//	camelot serve -addr 127.0.0.1:8080 -nodes 4 -faults 2 -tenants alice=8:3,bob=2:1
+//
 // Every subcommand (jobs included) also takes transport fault-simulation
 // flags: -shards splits the broadcast bus into per-shard buses with a
 // cross-shard relay, -dropnodes/-droprate/-duprate/-delayrate/-maxdelay
@@ -267,13 +274,15 @@ func (cf *commonFlags) options() ([]camelot.Option, error) {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: camelot <cliques|triangles|chromatic|tutte|cnfsat|permanent|hamilton|setcover|ov|conv3sum|csp|jobs|coordinate|node> [flags]")
+		return fmt.Errorf("usage: camelot <cliques|triangles|chromatic|tutte|cnfsat|permanent|hamilton|setcover|ov|conv3sum|csp|jobs|serve|coordinate|node> [flags]")
 	}
 	ctx := context.Background()
 	sub, rest := args[0], args[1:]
 	switch sub {
 	case "jobs":
 		return runJobs(rest)
+	case "serve":
+		return runServe(rest)
 	case "coordinate":
 		return runCoordinate(ctx, rest)
 	case "node":

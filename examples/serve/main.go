@@ -1,0 +1,199 @@
+// Serve: the Camelot proof service end to end. The paper's model is a
+// community standing by to prepare proofs for a stream of inputs; this
+// example runs that service over a real HTTP listener and replays its
+// headline claim as a checked round trip:
+//
+//  1. submit a workload spec — the service canonicalizes it, computes
+//     the content digest, and prepares the proof on the cluster;
+//  2. long-poll the result and time the cold preparation;
+//  3. submit the same workload with its fields reordered — the
+//     canonical digest matches, the cache answers, and the served
+//     bytes must be bit-identical to the cold run's;
+//  4. ask the service to spot-check the cached artifact
+//     (VerifyProofBatch — no problem instance needed), then verify it
+//     locally too: caching never asks the client to trust the server.
+//
+// It exits non-zero on any mismatch, so CI runs it (race-instrumented)
+// as the service acceptance gate. A 429 + Retry-After demonstration
+// rides along on a deliberately saturated second service.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"camelot"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cluster := camelot.NewCluster(camelot.WithNodes(4))
+	defer cluster.Close()
+	service := camelot.NewServer(cluster, camelot.ServerConfig{
+		FaultTolerance: 2,
+		MaxQueueDepth:  8,
+		Tenants: map[string]camelot.TenantConfig{
+			"alice": {MaxInFlight: 4, Priority: 3},
+			"bob":   {MaxInFlight: 2, Priority: 1},
+		},
+	})
+	defer service.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: service.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	log.Printf("proof service on %s (4 nodes, f=2)", base)
+
+	// 1. Cold submission.
+	const spec = "triangles n=40 p=0.25 seed=7"
+	start := time.Now()
+	sub := submit(base, "alice", spec)
+	if sub.State != "running" {
+		log.Fatalf("cold submission state = %q, want running", sub.State)
+	}
+	cold := fetch(base + "/v1/result?digest=" + sub.Digest)
+	coldLatency := time.Since(start)
+	log.Printf("cold:   %-34q -> digest %s… (%d proof bytes in %v)",
+		spec, sub.Digest[:12], len(cold), coldLatency.Round(time.Microsecond))
+
+	// 2. Cache hit from another tenant, fields reordered: same
+	// canonical form, same digest, same bytes.
+	const reordered = "triangles seed=7 p=0.25 n=40"
+	start = time.Now()
+	hit := submit(base, "bob", reordered)
+	if hit.State != "cached" || hit.Digest != sub.Digest {
+		log.Fatalf("re-submission = %+v, want cached with digest %s", hit, sub.Digest)
+	}
+	served := fetch(base + "/v1/result?digest=" + hit.Digest)
+	hitLatency := time.Since(start)
+	if !bytes.Equal(served, cold) {
+		log.Fatal("FAIL: cached proof is not bit-identical to the cold run's")
+	}
+	log.Printf("cached: %-34q -> same digest, bit-identical bytes in %v (%.0fx faster)",
+		reordered, hitLatency.Round(time.Microsecond), float64(coldLatency)/float64(hitLatency))
+
+	// 3. Server-side spot-check, then an independent local one.
+	var verdict struct{ Ok bool }
+	mustJSON(post(base+"/v1/verify?digest="+sub.Digest, ""), &verdict)
+	if !verdict.Ok {
+		log.Fatal("FAIL: service spot-check rejected the cached proof")
+	}
+	var proof camelot.Proof
+	if err := proof.UnmarshalBinary(served); err != nil {
+		log.Fatalf("served bytes do not unmarshal: %v", err)
+	}
+	if ok, err := camelot.VerifyProofBatch(&proof, time.Now().UnixNano()); err != nil || !ok {
+		log.Fatalf("FAIL: local batch verification = (%v, %v)", ok, err)
+	}
+	log.Printf("verify: service spot-check and local VerifyProofBatch both accept")
+
+	// 4. Metrics: the counters the round trip just moved.
+	metrics := string(fetch(base + "/metrics"))
+	for _, line := range strings.Split(strings.TrimSpace(metrics), "\n") {
+		if strings.HasPrefix(line, "camelot_submits_total") ||
+			strings.HasPrefix(line, "camelot_cache_hit") ||
+			strings.HasPrefix(line, "camelot_stage_seconds") {
+			log.Printf("metric: %s", line)
+		}
+	}
+	if !strings.Contains(metrics, "camelot_cache_hits_total 1") {
+		log.Fatal("FAIL: metrics do not record the cache hit")
+	}
+
+	// 5. Backpressure: a saturated single-slot service answers 429 with
+	// a Retry-After hint instead of queueing without bound.
+	demoBackpressure()
+
+	log.Printf("ok: submit -> cache hit -> verify round trip held")
+}
+
+// demoBackpressure saturates a one-slot service and shows the typed
+// refusal. The workload is slow enough (n=64) that the second
+// submission reliably lands while the first is still preparing.
+func demoBackpressure() {
+	cluster := camelot.NewCluster(camelot.WithNodes(2))
+	defer cluster.Close()
+	service := camelot.NewServer(cluster, camelot.ServerConfig{MaxQueueDepth: 1, RetryAfter: 2 * time.Second})
+	defer service.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: service.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	first := submit(base, "alice", "triangles n=64 p=0.2 seed=1")
+	resp := post(base+"/v1/submit", `{"tenant":"bob","spec":"triangles n=64 p=0.2 seed=2"}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		log.Fatalf("saturated submit status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	log.Printf("backpressure: saturated service answered 429, Retry-After=%ss, body %s",
+		resp.Header.Get("Retry-After"), strings.TrimSpace(string(body)))
+	// Drain so Close has nothing in flight.
+	fetch(base + "/v1/result?digest=" + first.Digest)
+}
+
+type submitReply struct{ Digest, Canonical, State string }
+
+func submit(base, tenant, spec string) submitReply {
+	body := fmt.Sprintf(`{"tenant":%q,"spec":%q}`, tenant, spec)
+	resp := post(base+"/v1/submit", body)
+	var out submitReply
+	mustJSON(resp, &out)
+	return out
+}
+
+func post(url, body string) *http.Response {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp
+}
+
+func fetch(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+func mustJSON(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("POST: status %d, body %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		log.Fatalf("bad JSON %s: %v", b, err)
+	}
+}

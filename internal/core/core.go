@@ -185,6 +185,14 @@ type Options struct {
 	// long-lived worker pool for the per-run scheduler; MaxParallelism
 	// is then ignored (the pool's width was fixed at construction).
 	Pool *Pool
+	// Priority is the run's scheduling weight on the shared Pool: each
+	// cycle of the pool's between-runs round-robin lets this run claim
+	// Priority tasks where a default run claims one. Values below 1
+	// (including the zero default) mean weight 1; without a Pool the
+	// per-run scheduler ignores it. This is how a multi-tenant service
+	// gives some tenants a larger share of a contended cluster without
+	// starving the rest.
+	Priority int
 	// Geometry, when non-nil, memoizes prime selection and Reed–Solomon
 	// code construction across runs — the Cluster's warm per-prime
 	// state. One-shot runs leave it nil and recompute per run.

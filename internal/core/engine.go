@@ -86,6 +86,14 @@ type engine struct {
 	codes  []*rs.Code
 	report *Report
 	obs    Observer
+	// pointsLeft is the progress-credit budget: the (point, prime)
+	// units announced via Observer.Geometry that have not been credited
+	// through Observer.PointsDone yet. Repair rounds re-evaluate ranges
+	// whose round-0 evaluation may already have been credited (locally
+	// the computation succeeded — only the broadcast was lost), so all
+	// crediting routes through creditPoints, which debits this budget
+	// and clamps at zero: PointsDone can never exceed PointsTotal.
+	pointsLeft atomic.Int64
 
 	// Transport state, owned for the whole run once stagePrepare builds
 	// it: repair rounds re-gather over the same instance, so the engine
@@ -190,6 +198,7 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 	// The engine owns the transport for the whole run — gathers in
 	// repair-capable runs leave it open between rounds.
 	defer en.closeTransport()
+	en.pointsLeft.Store(int64(en.e * len(en.primes)))
 	en.obs.Geometry(en.e*len(en.primes), en.k)
 	prep, err := en.stagePrepare(ctx)
 	if err != nil {
@@ -209,6 +218,32 @@ func Run(ctx context.Context, p Problem, opts Options) (*Proof, *Report, error) 
 		return proof, en.report, fmt.Errorf("core: %s: %w", p.Name(), err)
 	}
 	return proof, en.report, nil
+}
+
+// creditPoints reports n newly evaluated (point, prime) units to the
+// observer, clamped to the remaining geometry budget. A repair round
+// recomputes ranges that round 0 may already have credited (local
+// evaluation completes even when the broadcast is lost, and a straggler
+// cut loose mid-range credited part of it), so without the clamp a
+// healed run would report PointsDone > PointsTotal.
+func (en *engine) creditPoints(n int) {
+	if n <= 0 {
+		return
+	}
+	for {
+		left := en.pointsLeft.Load()
+		if left <= 0 {
+			return
+		}
+		take := int64(n)
+		if take > left {
+			take = left
+		}
+		if en.pointsLeft.CompareAndSwap(left, left-take) {
+			en.obs.PointsDone(int(take))
+			return
+		}
+	}
 }
 
 // canRepair decides whether a failed decode is worth another gather
@@ -239,10 +274,13 @@ func (en *engine) closeTransport() {
 }
 
 // runTasks executes indexed tasks on the session pool when one is
-// configured (Cluster runs) and on a per-run scheduler otherwise.
+// configured (Cluster runs) and on a per-run scheduler otherwise. On
+// the pool the run's Priority becomes its scheduling weight, so a
+// high-priority tenant's tasks interleave more densely than a default
+// run's.
 func (en *engine) runTasks(ctx context.Context, n int, task func(id int) error) error {
 	if en.opts.Pool != nil {
-		return en.opts.Pool.Run(ctx, n, task)
+		return en.opts.Pool.RunWeighted(ctx, n, en.opts.Priority, task)
 	}
 	return newScheduler(en.opts.MaxParallelism).run(ctx, n, task)
 }
@@ -428,7 +466,7 @@ func (en *engine) stagePrepare(ctx context.Context) (*prepared, error) {
 			// Remote evaluation reports no per-chunk progress; credit a
 			// range's points (per prime, matching Observer.Geometry's
 			// units) when its frame lands.
-			en.obs.PointsDone((m.Hi - m.Lo) * len(en.primes))
+			en.creditPoints((m.Hi - m.Lo) * len(en.primes))
 		}
 	}
 	en.report.ComputeWall = time.Since(computeStart)
@@ -497,7 +535,7 @@ func (en *engine) runRound(ctx context.Context, nodes []*prepNode, chunks []prep
 			if err != nil {
 				return fmt.Errorf("node %d: %w", st.msg.Origin(), err)
 			}
-			en.obs.PointsDone(chk.hi - chk.lo)
+			en.creditPoints(chk.hi - chk.lo)
 			if st.remaining.Add(-1) == 0 {
 				// Last chunk of this message: it is complete (every
 				// other chunk's write happened-before the counter
@@ -671,7 +709,7 @@ func (en *engine) stageRepair(ctx context.Context, prep *prepared, round int) er
 			en.report.MaxNodeCompute = m.Elapsed
 		}
 		if en.remote != nil {
-			en.obs.PointsDone((m.Hi - m.Lo) * len(en.primes))
+			en.creditPoints((m.Hi - m.Lo) * len(en.primes))
 		}
 	}
 	remaining := prep.missing[:0]

@@ -4,9 +4,14 @@ package core
 // pool that many concurrent engine runs share. The per-run scheduler
 // (scheduler.go) bounds one run's concurrency; the Pool additionally
 // arbitrates *between* runs — task sets from concurrent Run calls are
-// interleaved round-robin, one task at a time, so a wide run cannot
-// starve a narrow one. This is the fairness a multi-tenant cluster
-// needs when jobs of very different sizes are in flight together.
+// interleaved round-robin, so a wide run cannot starve a narrow one.
+// This is the fairness a multi-tenant cluster needs when jobs of very
+// different sizes are in flight together. The round-robin is
+// weight-aware: a run submitted with weight w claims w tasks per
+// scheduling cycle where a weight-1 run claims one, so a proof service
+// can give paying tenants a larger share of the pool without ever
+// starving the rest (every run with work left claims at least one task
+// per cycle).
 
 import (
 	"context"
@@ -39,6 +44,8 @@ type poolRun struct {
 	n        int // total tasks
 	next     int // next unclaimed id; == n once nothing is left to claim
 	active   int // claimed tasks still executing
+	weight   int // tasks claimable per scheduling cycle (>= 1)
+	credit   int // claims left this cycle; refilled to weight when the cycle turns
 	err      error
 	finished bool
 	done     chan struct{}
@@ -69,10 +76,22 @@ func (p *Pool) Width() int { return p.width }
 // state afterwards; a task error or cancellation only stops unclaimed
 // tasks from starting. Concurrent Run calls are served fairly.
 func (p *Pool) Run(ctx context.Context, n int, task func(id int) error) error {
+	return p.RunWeighted(ctx, n, 1, task)
+}
+
+// RunWeighted is Run with a scheduling weight: each cycle of the pool's
+// between-runs round-robin lets this task set claim up to weight tasks
+// where a plain Run claims one. Weights below 1 are clamped to 1, so a
+// weighted run never starves and an unweighted one never stalls.
+func (p *Pool) RunWeighted(ctx context.Context, n, weight int, task func(id int) error) error {
 	if n <= 0 {
-		return ctx.Err()
+		// An empty task set has nothing left to do: it completed.
+		return nil
 	}
-	r := &poolRun{ctx: ctx, task: task, n: n, done: make(chan struct{})}
+	if weight < 1 {
+		weight = 1
+	}
+	r := &poolRun{ctx: ctx, task: task, n: n, weight: weight, credit: weight, done: make(chan struct{})}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -86,17 +105,23 @@ func (p *Pool) Run(ctx context.Context, n int, task func(id int) error) error {
 	case <-ctx.Done():
 		// Withdraw the unclaimed remainder; tasks already executing are
 		// expected to observe ctx themselves, and the run completes (and
-		// closes done) once they drain.
+		// closes done) once they drain. A run whose tasks were all
+		// claimed (or that already finished) keeps its own outcome: a
+		// cancellation arriving after the last task was handed out has
+		// nothing to withdraw and must not turn success into failure.
 		p.mu.Lock()
-		r.fail(ctx.Err())
-		p.finishLocked(r)
+		if !r.finished && r.err == nil && r.next < r.n {
+			r.fail(ctx.Err())
+			p.finishLocked(r)
+		}
 		p.mu.Unlock()
 		<-r.done
 	}
-	if r.err != nil {
-		return r.err
-	}
-	return ctx.Err()
+	// r.err is nil only if no task failed and no withdrawal happened —
+	// i.e. all n tasks ran to completion — so it is the whole verdict:
+	// a context cancelled just after the last task finished does not
+	// retroactively fail a completed run.
+	return r.err
 }
 
 // Close drains the pool: new Run calls are rejected, task sets already
@@ -142,11 +167,36 @@ func (p *Pool) finishLocked(r *poolRun) {
 }
 
 // pickLocked claims nothing; it returns the next run with an unclaimed
-// task, advancing the round-robin cursor. Callers hold p.mu.
+// task and scheduling credit left, advancing the round-robin cursor and
+// spending one credit. When every run with work left is out of credit
+// the cycle turns: credits refill to each run's weight and the scan
+// repeats (guaranteed to pick then). Callers hold p.mu.
 func (p *Pool) pickLocked() *poolRun {
+	if r := p.scanLocked(); r != nil {
+		return r
+	}
+	// No run had both work and credit. If any has work at all, start a
+	// new cycle; otherwise there is nothing to pick.
+	hasWork := false
+	for _, r := range p.runs {
+		if r.next < r.n {
+			hasWork = true
+		}
+		r.credit = r.weight
+	}
+	if !hasWork {
+		return nil
+	}
+	return p.scanLocked()
+}
+
+// scanLocked is one round-robin pass: the first run from the cursor
+// with an unclaimed task and credit left wins and pays one credit.
+func (p *Pool) scanLocked() *poolRun {
 	for i := 0; i < len(p.runs); i++ {
 		r := p.runs[(p.rr+i)%len(p.runs)]
-		if r.next < r.n {
+		if r.next < r.n && r.credit > 0 {
+			r.credit--
 			p.rr = (p.rr + i + 1) % len(p.runs)
 			return r
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -395,4 +396,140 @@ func (p *concurrencyTrackedProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	time.Sleep(50 * time.Microsecond)
 	defer p.cur.Add(-1)
 	return p.Problem.Evaluate(q, x0)
+}
+
+// TestPoolRunCompletedSurvivesLateCancel pins Pool.Run's verdict when
+// the context is cancelled after every task has been claimed and all
+// of them complete successfully: the task set completed, so the caller
+// must see success, not the unrelated cancellation. Pre-fix, Run fell
+// through to ctx.Err() (and its cancel branch poisoned even a finished
+// run's error), turning a fully completed run into a spurious failure.
+func TestPoolRunCompletedSurvivesLateCancel(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+
+	// Deterministic interleaving: both tasks are claimed and report in,
+	// then the context is cancelled while they are still in flight, then
+	// they return nil. Run must wait them out and report success.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var entered atomic.Int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- pool.Run(ctx, 2, func(id int) error {
+			entered.Add(1)
+			<-release
+			return nil
+		})
+	}()
+	for entered.Load() < 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("completed run reported %v, want nil", err)
+	}
+
+	// And the pure timing race, many times: cancellation arriving at
+	// (or just after) the moment the last task finishes must never
+	// fabricate a failure.
+	for i := 0; i < 200; i++ {
+		raceCtx, raceCancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		raceDone := make(chan error, 1)
+		go func() {
+			raceDone <- pool.Run(raceCtx, 4, func(id int) error {
+				ran.Add(1)
+				return nil
+			})
+		}()
+		for ran.Load() < 4 {
+			runtime.Gosched()
+		}
+		raceCancel()
+		if err := <-raceDone; err != nil {
+			t.Fatalf("iteration %d: completed run reported %v (ran %d/4 tasks)", i, err, ran.Load())
+		}
+	}
+}
+
+// TestPoolWeightedRunGetsLargerShare pins the weight-aware round-robin:
+// with every worker claim serialized through a width-1 pool, a weight-3
+// run's tasks must interleave ~3x as densely as a concurrent weight-1
+// run's, and the weight-1 run must still finish (no starvation).
+func TestPoolWeightedRunGetsLargerShare(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+
+	// Seed both runs before the single worker starts claiming: a gate
+	// task submitted first holds the worker until both task sets are
+	// queued, so the claim order afterwards is purely the scheduler's.
+	gate := make(chan struct{})
+	gateEntered := make(chan struct{})
+	gateDone := make(chan error, 1)
+	go func() {
+		gateDone <- pool.Run(context.Background(), 1, func(int) error {
+			close(gateEntered)
+			<-gate
+			return nil
+		})
+	}()
+	// The worker must be inside the gate task before the contenders are
+	// submitted, or it could drain one of them while the other queues.
+	<-gateEntered
+
+	const n = 12
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) func(int) error {
+		return func(int) error {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+			return nil
+		}
+	}
+	heavyDone := make(chan error, 1)
+	lightDone := make(chan error, 1)
+	go func() { heavyDone <- pool.RunWeighted(context.Background(), n, 3, record("heavy")) }()
+	go func() { lightDone <- pool.Run(context.Background(), n, record("light")) }()
+
+	// Wait until both runs are queued behind the gate, then open it.
+	for {
+		pool.mu.Lock()
+		queued := len(pool.runs)
+		pool.mu.Unlock()
+		if queued == 3 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(gate)
+	if err := <-gateDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-heavyDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-lightDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// In the window before either run drains, heavy should have claimed
+	// ~3 tasks per light task. Look at the prefix where both runs still
+	// had work: the first 12 claims hold 3:1 cycles (3 heavy + 1 light).
+	heavyFirst8 := 0
+	for _, tag := range order[:8] {
+		if tag == "heavy" {
+			heavyFirst8++
+		}
+	}
+	if heavyFirst8 < 5 {
+		t.Fatalf("weight-3 run claimed %d of the first 8 serialized slots, want >= 5 (order %v)", heavyFirst8, order)
+	}
+	if len(order) != 2*n {
+		t.Fatalf("ran %d tasks, want %d", len(order), 2*n)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -335,5 +336,61 @@ func TestLossyDelayedCopyCannotStraddleRounds(t *testing.T) {
 	}
 	if len(out) != 1 || out[0].Round != 1 || out[0].Origin() != 2 {
 		t.Fatalf("round-1 gather saw %+v, want the sponsor's frame alone", out)
+	}
+}
+
+// progressObserver accumulates the Geometry total and PointsDone
+// credits — the counters JobStatus.PointsDone/PointsTotal are built
+// from at the session layer.
+type progressObserver struct {
+	nopObserver
+	total atomic.Int64
+	done  atomic.Int64
+}
+
+func (o *progressObserver) Geometry(points, nodes int) { o.total.Store(int64(points)) }
+func (o *progressObserver) PointsDone(delta int)       { o.done.Add(int64(delta)) }
+
+// TestRepairProgressNeverOverCredits pins the progress-accounting
+// invariant PointsDone <= PointsTotal across a healed run. Round 0
+// evaluates (and credits) every node's range but loses two broadcasts
+// in transit; the repair round recomputes those ranges on sponsoring
+// survivors — a second evaluation of already-credited points that must
+// not be credited twice.
+func TestRepairProgressNeverOverCredits(t *testing.T) {
+	ctx := context.Background()
+	p := testProblem()
+	obs := &progressObserver{}
+	_, rep, err := Run(ctx, p, Options{
+		Nodes: 5, FaultTolerance: 1,
+		MaxErasures: 2, MaxRepairRounds: 1, GatherGrace: 100 * time.Millisecond,
+		Observer: obs,
+		NewTransport: func(k int) Transport {
+			return &filterTransport{
+				BroadcastBus: NewBroadcastBus(k),
+				dropFn: func(m NodeShares) bool {
+					return m.Round == 0 && (m.ID == 1 || m.ID == 3)
+				},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairRounds != 1 {
+		t.Fatalf("RepairRounds = %d, want 1 (fixture must force a repair)", rep.RepairRounds)
+	}
+	total, done := obs.total.Load(), obs.done.Load()
+	if total <= 0 {
+		t.Fatalf("Geometry announced %d points", total)
+	}
+	if done > total {
+		t.Fatalf("PointsDone = %d exceeds PointsTotal = %d after repair: repair rounds double-credit progress", done, total)
+	}
+	if done < total {
+		// Every range was eventually delivered (round 0 survivors plus
+		// repaired ranges), so a healed run's progress should also be
+		// complete — the clamp must not under-credit a full recovery.
+		t.Fatalf("PointsDone = %d < PointsTotal = %d after full heal", done, total)
 	}
 }

@@ -11,12 +11,12 @@
 # coincide and the parallel speedups come out ~1.0 by construction.
 #
 # Usage: scripts/bench.sh [N]
-#   N        suffix for BENCH_N.json (default 4)
+#   N        suffix for BENCH_N.json (default 5)
 #   BENCHTIME  overrides the go benchtime (default 2s for micro, 10x for e2e)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-4}"
+N="${1:-5}"
 MICRO_TIME="${BENCHTIME:-2s}"
 E2E_TIME="${BENCHTIME:-10x}"
 OUT="BENCH_${N}.json"
@@ -45,6 +45,10 @@ done
 echo "== GOMAXPROCS $NCPU" >> "$TMP"
 echo "== session-layer job throughput (${E2E_TIME})" >&2
 go test -run xxx -bench 'BenchmarkJobs' \
+    -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
+
+echo "== proof service: first run vs cache hit (${E2E_TIME})" >&2
+go test -run xxx -bench 'BenchmarkServe' \
     -benchtime "$E2E_TIME" . | tee -a "$TMP" >&2
 
 # Fold "Benchmark<name> <iters> <ns> ns/op ..." lines into JSON. Entries
@@ -88,6 +92,8 @@ END {
     tc = v["BenchmarkJobsTutteConcurrentLines@" ncpu]; ts = v["BenchmarkJobsTutteSequentialLines@" ncpu]
     if (cl > 0 && sq > 0) { printf "%s    \"cluster_jobs_per_sec_vs_sequential\": %.3f", sep, sq / cl; sep = ",\n" }
     if (tc > 0 && ts > 0) { printf "%s    \"tutte_concurrent_vs_sequential\": %.3f", sep, ts / tc; sep = ",\n" }
+    sf = v["BenchmarkServeFirstRun@" ncpu]; sh = v["BenchmarkServeCacheHit@" ncpu]
+    if (sf > 0 && sh > 0) { printf "%s    \"serve_cache_hit_speedup\": %.3f", sep, sf / sh; sep = ",\n" }
     printf "\n  }\n}\n"
 }' "$TMP" > "$OUT"
 

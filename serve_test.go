@@ -1,0 +1,381 @@
+package camelot
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serveGatedTransport blocks every Send until the gate closes, holding
+// runs deterministically in flight so admission-control tests see a
+// full queue instead of racing run completion.
+type serveGatedTransport struct {
+	inner Transport
+	gate  chan struct{}
+}
+
+func (t *serveGatedTransport) Send(ctx context.Context, m NodeShares) error {
+	select {
+	case <-t.gate:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return t.inner.Send(ctx, m)
+}
+
+func (t *serveGatedTransport) Gather(ctx context.Context, k int) ([]NodeShares, error) {
+	return t.inner.Gather(ctx, k)
+}
+
+// TestServeCacheHitsAreBitIdentical storms one server from two tenants
+// with a shared (cache-hitting) workload and per-goroutine distinct
+// (cache-missing) workloads, and asserts every cached serve is
+// bit-identical to an independently prepared fresh proof.
+func TestServeCacheHitsAreBitIdentical(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl := NewCluster(WithNodes(3))
+	defer cl.Close()
+	srv := NewServer(cl, ServerConfig{
+		FaultTolerance: 1,
+		MaxQueueDepth:  64,
+		Tenants: map[string]TenantConfig{
+			"alice": {MaxInFlight: 16, Priority: 3},
+			"bob":   {MaxInFlight: 16, Priority: 1},
+		},
+	})
+	defer srv.Close()
+
+	const shared = "triangles n=16 p=0.3 seed=42"
+	// A fresh proof of the shared workload prepared entirely outside the
+	// server (different cluster, different node count): the cache must
+	// reproduce it bit for bit — proofs are deterministic in (canonical
+	// spec, fault tolerance), not in who prepared them.
+	w, err := ParseWorkload(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := RunProblem(ctx, w.Problem, WithFaultTolerance(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := srv.Submit("alice", shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.State != "running" {
+		t.Fatalf("first submission state = %q, want running", out.State)
+	}
+	ref, err := srv.Result(ctx, out.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, fresh) {
+		t.Fatal("server-prepared proof differs from an independently prepared fresh proof")
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		tenant := "alice"
+		if g%2 == 1 {
+			tenant = "bob"
+		}
+		distinct := fmt.Sprintf("triangles n=12 p=0.3 seed=%d", 100+g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				hit, err := srv.Submit(tenant, shared)
+				if err != nil {
+					errc <- fmt.Errorf("%s shared submit: %w", tenant, err)
+					return
+				}
+				got, err := srv.Result(ctx, hit.Digest)
+				if err != nil {
+					errc <- fmt.Errorf("%s shared result: %w", tenant, err)
+					return
+				}
+				if !bytes.Equal(got, fresh) {
+					errc <- fmt.Errorf("%s: cached proof not bit-identical to fresh", tenant)
+					return
+				}
+				miss, err := srv.Submit(tenant, distinct)
+				if err != nil {
+					errc <- fmt.Errorf("%s distinct submit: %w", tenant, err)
+					return
+				}
+				if miss.Digest == hit.Digest {
+					errc <- fmt.Errorf("distinct workload %q collided with shared digest", distinct)
+					return
+				}
+				db, err := srv.Result(ctx, miss.Digest)
+				if err != nil {
+					errc <- fmt.Errorf("%s distinct result: %w", tenant, err)
+					return
+				}
+				var dp Proof
+				if err := dp.UnmarshalBinary(db); err != nil {
+					errc <- fmt.Errorf("%s distinct proof bytes: %w", tenant, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if hits := srv.cacheHits.Load() + srv.coalesced.Load(); hits == 0 {
+		t.Error("repeated identical submissions produced no cache hits")
+	}
+	if ok, err := srv.VerifyStored(ctx, out.Digest); err != nil || !ok {
+		t.Fatalf("VerifyStored on cached proof = (%v, %v), want (true, nil)", ok, err)
+	}
+}
+
+// TestServeQuotaRefusalsTyped pins the admission-control contract: a
+// tenant at its in-flight cap is refused with ErrTenantQuota, a full
+// server with ErrQueueFull, and attaching to an identical in-flight
+// preparation is never refused (single-flight does not consume quota).
+func TestServeQuotaRefusalsTyped(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	gate := make(chan struct{})
+	cl := NewCluster(WithNodes(2), WithTransport(func(k int) Transport {
+		return &serveGatedTransport{inner: NewBroadcastBus(k), gate: gate}
+	}))
+	defer cl.Close()
+	srv := NewServer(cl, ServerConfig{MaxQueueDepth: 2, DefaultMaxInFlight: 1})
+	defer srv.Close()
+
+	first, err := srv.Submit("alice", "triangles n=12 p=0.3 seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit("alice", "triangles n=12 p=0.3 seed=2"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("tenant over cap: err = %v, want ErrTenantQuota", err)
+	}
+	again, err := srv.Submit("alice", "triangles n=12 p=0.3 seed=1")
+	if err != nil {
+		t.Fatalf("coalescing with own in-flight run should not consume quota: %v", err)
+	}
+	if again.State != "coalesced" {
+		t.Fatalf("identical in-flight resubmission state = %q, want coalesced", again.State)
+	}
+	second, err := srv.Submit("bob", "triangles n=12 p=0.3 seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit("carol", "triangles n=12 p=0.3 seed=3"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("server at queue depth: err = %v, want ErrQueueFull", err)
+	}
+
+	close(gate)
+	for _, digest := range []string{first.Digest, second.Digest} {
+		if _, err := srv.Result(ctx, digest); err != nil {
+			t.Fatalf("result after release: %v", err)
+		}
+	}
+	// With the queue drained, the refused tenants are admitted.
+	if _, err := srv.Submit("carol", "triangles n=12 p=0.3 seed=3"); err != nil {
+		t.Fatalf("submission after drain: %v", err)
+	}
+}
+
+// TestServeHTTPRoundTrip drives the wire interface end to end: submit,
+// long-poll the result, verify the cached artifact, re-submit for a
+// cache hit, and read the metrics — plus the 400/404/429 edges.
+func TestServeHTTPRoundTrip(t *testing.T) {
+	cl := NewCluster(WithNodes(2))
+	defer cl.Close()
+	srv := NewServer(cl, ServerConfig{FaultTolerance: 1, RetryAfter: 3 * time.Second})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+	get := func(path string) (*http.Response, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp, body := post("/v1/submit", `{"tenant":"alice","spec":"triangles n=12 p=0.3 seed=7"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var sub struct{ Digest, State string }
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, proofBytes := get("/v1/result?digest=" + sub.Digest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d, body %s", resp.StatusCode, proofBytes)
+	}
+	var proof Proof
+	if err := proof.UnmarshalBinary(proofBytes); err != nil {
+		t.Fatalf("result bytes do not unmarshal: %v", err)
+	}
+	if ok, err := VerifyProofBatch(&proof, 99); err != nil || !ok {
+		t.Fatalf("served proof fails batch verification: (%v, %v)", ok, err)
+	}
+
+	resp, body = post("/v1/submit", `{"tenant":"bob","spec":"triangles seed=7 n=12 p=0.3"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-submit (reordered fields) status = %d, want 200 cached; body %s", resp.StatusCode, body)
+	}
+	var hit struct{ Digest, State string }
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if hit.State != "cached" || hit.Digest != sub.Digest {
+		t.Fatalf("re-submit = %+v, want cached with digest %s", hit, sub.Digest)
+	}
+
+	resp, body = get("/v1/status?digest=" + sub.Digest)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"state":"succeeded"`) {
+		t.Fatalf("status = %d %s", resp.StatusCode, body)
+	}
+	resp, body = post("/v1/verify?digest="+sub.Digest, "")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok":true`) {
+		t.Fatalf("verify = %d %s", resp.StatusCode, body)
+	}
+	resp, body = get("/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "camelot_cache_hits_total 1") {
+		t.Fatalf("metrics = %d %s", resp.StatusCode, body)
+	}
+
+	if resp, _ = get("/v1/result?digest=deadbeef"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ = post("/v1/submit", `{"tenant":"a","spec":"nonsense n=1"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed spec status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeBackpressureOnTheWire asserts a saturated server answers 429
+// with a Retry-After hint and a typed JSON error code.
+func TestServeBackpressureOnTheWire(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	gate := make(chan struct{})
+	cl := NewCluster(WithNodes(2), WithTransport(func(k int) Transport {
+		return &serveGatedTransport{inner: NewBroadcastBus(k), gate: gate}
+	}))
+	defer cl.Close()
+	srv := NewServer(cl, ServerConfig{MaxQueueDepth: 1, RetryAfter: 2 * time.Second})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/submit", "application/json",
+		strings.NewReader(`{"tenant":"alice","spec":"triangles n=12 p=0.3 seed=1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct{ Digest string }
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+"/v1/submit", "application/json",
+		strings.NewReader(`{"tenant":"bob","spec":"triangles n=12 p=0.3 seed=2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit status = %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want %q", resp.Header.Get("Retry-After"), "2")
+	}
+	if !strings.Contains(string(body), `"error":"queue_full"`) {
+		t.Fatalf("429 body %s lacks queue_full code", body)
+	}
+
+	close(gate)
+	if _, err := srv.Result(ctx, sub.Digest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkServeFirstRun measures a cold submission (unique seed per
+// iteration, so every run is a cache miss) end to end.
+func BenchmarkServeFirstRun(b *testing.B) {
+	cl := NewCluster(WithNodes(2))
+	defer cl.Close()
+	srv := NewServer(cl, ServerConfig{FaultTolerance: 1, MaxQueueDepth: 1 << 20, DefaultMaxInFlight: 1 << 20})
+	defer srv.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := srv.Submit("bench", fmt.Sprintf("triangles n=48 p=0.2 seed=%d", i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Result(ctx, out.Digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCacheHit measures serving a proof the cache already
+// holds — the spot-checked fast path the service exists for.
+func BenchmarkServeCacheHit(b *testing.B) {
+	cl := NewCluster(WithNodes(2))
+	defer cl.Close()
+	srv := NewServer(cl, ServerConfig{FaultTolerance: 1})
+	defer srv.Close()
+	ctx := context.Background()
+	const spec = "triangles n=48 p=0.2 seed=42"
+	out, err := srv.Submit("bench", spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.Result(ctx, out.Digest); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit, err := srv.Submit("bench", spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Result(ctx, hit.Digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

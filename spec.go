@@ -13,6 +13,8 @@ package camelot
 // sides.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -28,11 +30,35 @@ type Workload struct {
 	// Kind is the workload family: triangles, cliques, permanent,
 	// cnfsat, or hamilton.
 	Kind string
-	// Instance is the canonical field encoding ("n=24 p=0.3 seed=7")
-	// carried verbatim in Assign manifests.
+	// Instance is the field encoding ("n=24 p=0.3 seed=7") carried
+	// verbatim in Assign manifests.
 	Instance []byte
+	// Canonical is the fully resolved spec line: every field present
+	// with its default applied and its value re-formatted, in the fixed
+	// order the constructor reads them. Two spec strings that build the
+	// same problem canonicalize identically ("triangles" and
+	// "triangles p=0.3 n=32" both yield "triangles seed=1 n=32 p=0.3"),
+	// so this — not the verbatim Instance — is cache-key material.
+	Canonical string
 	// Problem is the constructed counting problem.
 	Problem CountingProblem
+}
+
+// Digest returns the content address of the proof this workload produces
+// under fault tolerance f: a hex SHA-256 over the canonical spec and the
+// geometry knobs that shape the proof bytes. The codeword length is
+// e = d+1+2f, so f changes Points/Evals and is part of the key; node
+// count, erasure budget, repair rounds, and verification seed/trials all
+// leave the decoded proof bit-identical and are deliberately excluded.
+// The CLI, jobs manifests, and the serve layer must all key caches with
+// this digest so a proof prepared through any front end is a hit for the
+// others.
+func (w *Workload) Digest(faults int) string {
+	if faults < 0 {
+		faults = 0
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("camelot/proof/v1 %s f=%d", w.Canonical, faults)))
+	return hex.EncodeToString(h[:])
 }
 
 // ParseWorkload parses a `kind key=value ...` spec line. Unknown kinds
@@ -57,11 +83,12 @@ func ParseWorkload(spec string) (*Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", kind, err)
 	}
-	p, err := buildWorkload(kind, fields)
+	s := &specFields{kind: kind, fields: fields}
+	p, err := buildProblem(s)
 	if err != nil {
 		return nil, err
 	}
-	return &Workload{Kind: kind, Instance: []byte(instance), Problem: p}, nil
+	return &Workload{Kind: kind, Instance: []byte(instance), Canonical: s.canonical(), Problem: p}, nil
 }
 
 func parseSpecFields(kvs []string) (map[string]string, error) {
@@ -77,42 +104,62 @@ func parseSpecFields(kvs []string) (map[string]string, error) {
 }
 
 // specFields wraps a field map with typed, defaulting accessors whose
-// first parse error sticks.
+// first parse error sticks. Every access also records the resolved
+// `key=value` pair (default applied, value re-formatted), so the access
+// order of the constructor doubles as the canonical field order — the
+// canonical encoding cannot drift from what buildProblem actually built.
 type specFields struct {
-	kind   string
-	fields map[string]string
-	err    error
+	kind     string
+	fields   map[string]string
+	resolved []string
+	err      error
 }
 
 func (s *specFields) intField(key string, def int) int {
-	v, ok := s.fields[key]
-	if !ok {
-		return def
+	n := def
+	if v, ok := s.fields[key]; ok {
+		var err error
+		n, err = strconv.Atoi(v)
+		if err != nil && s.err == nil {
+			s.err = fmt.Errorf("%s: bad %s=%q", s.kind, key, v)
+		}
 	}
-	n, err := strconv.Atoi(v)
-	if err != nil && s.err == nil {
-		s.err = fmt.Errorf("%s: bad %s=%q", s.kind, key, v)
-	}
+	s.resolved = append(s.resolved, key+"="+strconv.Itoa(n))
 	return n
 }
 
 func (s *specFields) floatField(key string, def float64) float64 {
-	v, ok := s.fields[key]
-	if !ok {
-		return def
+	f := def
+	if v, ok := s.fields[key]; ok {
+		var err error
+		f, err = strconv.ParseFloat(v, 64)
+		if err != nil && s.err == nil {
+			s.err = fmt.Errorf("%s: bad %s=%q", s.kind, key, v)
+		}
 	}
-	f, err := strconv.ParseFloat(v, 64)
-	if err != nil && s.err == nil {
-		s.err = fmt.Errorf("%s: bad %s=%q", s.kind, key, v)
-	}
+	s.resolved = append(s.resolved, key+"="+strconv.FormatFloat(f, 'g', -1, 64))
 	return f
+}
+
+// canonical joins the resolved fields into the normalized spec line.
+func (s *specFields) canonical() string {
+	if len(s.resolved) == 0 {
+		return s.kind
+	}
+	return s.kind + " " + strings.Join(s.resolved, " ")
 }
 
 // buildWorkload constructs the problem a spec names. This single
 // function is the coordinator/worker agreement point: both ends route
 // through it (the workers via the control-protocol registry below).
 func buildWorkload(kind string, fields map[string]string) (CountingProblem, error) {
-	s := &specFields{kind: kind, fields: fields}
+	return buildProblem(&specFields{kind: kind, fields: fields})
+}
+
+// buildProblem constructs the problem from pre-wrapped fields, leaving
+// the resolved canonical encoding behind on s for callers that need it.
+func buildProblem(s *specFields) (CountingProblem, error) {
+	kind := s.kind
 	seed := int64(s.intField("seed", 1))
 	var p CountingProblem
 	var err error
