@@ -417,20 +417,29 @@ func BenchmarkE12GaoDecode(b *testing.B) {
 	}
 }
 
-// --- E14: BatchProblem block evaluation vs per-point fallback ------------------------
+// --- E14: compiled-plan block evaluation vs per-point fallback ------------------------
 
-// benchBatchVsPerPoint times one node's workload — evaluating a block of
-// consecutive code points for one prime — through the BatchProblem fast
-// path and the generic per-point fallback the scheduler would otherwise
-// use.
-func benchBatchVsPerPoint(b *testing.B, p core.BatchProblem, q uint64, points int) {
+// benchBatchVsPerPoint times one node's steady-state workload —
+// evaluating a block of consecutive code points for one prime — through
+// a compiled plan (compiled once, as the scheduler's planner does per
+// task group) and the generic per-point fallback, which pays the full
+// per-prime setup on every point.
+func benchBatchVsPerPoint(b *testing.B, p core.CompiledProblem, q uint64, points int) {
 	xs := make([]uint64, points)
 	for i := range xs {
 		xs[i] = uint64(i)
 	}
+	f, err := ff.New(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := p.Compile(f)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("batch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := p.EvaluateBlock(q, xs); err != nil {
+			if _, err := pl.EvaluateBlock(xs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -475,9 +484,6 @@ func BenchmarkE14BatchKClique(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := p.Evaluate(q, 0); err != nil { // warm the per-prime form cache for both paths
-		b.Fatal(err)
-	}
 	benchBatchVsPerPoint(b, p, q, 128)
 }
 
@@ -489,9 +495,6 @@ func BenchmarkE14BatchTriangles(b *testing.B) {
 	}
 	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
 	if err != nil {
-		b.Fatal(err)
-	}
-	if _, err := p.Evaluate(q, 0); err != nil { // warm the per-prime triple for both paths
 		b.Fatal(err)
 	}
 	benchBatchVsPerPoint(b, p, q, 128)
@@ -520,9 +523,6 @@ func BenchmarkE14BatchChromatic(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := p.Evaluate(q, 0); err != nil { // warm the mask plan for both paths
-		b.Fatal(err)
-	}
 	benchBatchVsPerPoint(b, p, q, 128)
 }
 
@@ -543,10 +543,62 @@ func BenchmarkE14BatchSetCover(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := p.Evaluate(q, 0); err != nil { // warm the suffix plan for both paths
+	benchBatchVsPerPoint(b, p, q, 128)
+}
+
+func BenchmarkE14BatchTutte(b *testing.B) {
+	mg := graph.RandomMultigraph(7, 10, 6)
+	p, err := tutte.NewProblem(mg, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 64)
+}
+
+func BenchmarkE14BatchHamilton(b *testing.B) {
+	g := graph.Gnp(12, 0.5, 9)
+	p, err := hamilton.NewProblem(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 64)
+}
+
+func BenchmarkE14BatchConv3SUM(b *testing.B) {
+	arr := make([]uint64, 32)
+	for i := range arr {
+		arr[i] = uint64(i + 1)
+	}
+	p, err := conv3sum.NewProblem(arr, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
 		b.Fatal(err)
 	}
 	benchBatchVsPerPoint(b, p, q, 128)
+}
+
+func BenchmarkE14BatchCSP(b *testing.B) {
+	sys := csp.RandomSystem(12, 2, 8, 0.5, 11)
+	p, err := csp.NewProblem(sys, tensor.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := ff.NTTPrime(p.MinModulus(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchVsPerPoint(b, p, q, 64)
 }
 
 // --- E16: batched proof verification --------------------------------------------------

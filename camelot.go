@@ -188,6 +188,11 @@ type clusterConfig struct {
 type runSettings struct {
 	opts core.Options // only run-scoped fields are set here
 	base tensor.Decomposition
+	// planKey names the run's workload for the cluster's shared
+	// compiled-plan cache; empty keeps the run's plans private. Set via
+	// the unexported withPlanKey (the serve layer derives it from
+	// Workload.PlanDigest), not by callers directly.
+	planKey string
 }
 
 func defaultRunSettings() runSettings {
@@ -214,6 +219,7 @@ func (c *config) coreOptions() core.Options {
 	o.Nodes = c.cluster.nodes
 	o.MaxParallelism = c.cluster.maxParallelism
 	o.NewTransport = c.cluster.newTransport
+	o.PlanKey = c.run.planKey
 	return o
 }
 
@@ -328,6 +334,16 @@ func WithLossyTransport(cfg LossyConfig) ClusterOption {
 // sweet spot (or when benchmarking block-size sensitivity itself).
 func WithBlockSize(points int) RunOption {
 	return runOption(func(rs *runSettings) { rs.opts.BlockSize = points })
+}
+
+// withPlanKey names the run's workload for the cluster's shared
+// compiled-plan cache: runs submitted with the same key to one cluster
+// reuse each other's compiled per-prime evaluation plans. The key must
+// be derived from the instance's canonical encoding (Workload.
+// PlanDigest) — a display name is not unique enough. Unexported: the
+// serve layer is the only caller with a canonical digest in hand.
+func withPlanKey(key string) RunOption {
+	return runOption(func(rs *runSettings) { rs.planKey = key })
 }
 
 // WithFaultTolerance sets the number f of corrupted shares the run

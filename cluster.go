@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"camelot/internal/core"
+	"camelot/internal/plan"
 )
 
 // ErrClusterClosed is the failure state of jobs submitted to a closed
@@ -27,9 +28,10 @@ var ErrClusterClosed = errors.New("camelot: cluster closed")
 // for concurrent use; any number of goroutines may submit jobs and
 // in-flight jobs of any size share the pool fairly.
 type Cluster struct {
-	cfg  clusterConfig
-	pool *core.Pool
-	geom *core.GeometryCache
+	cfg   clusterConfig
+	pool  *core.Pool
+	geom  *core.GeometryCache
+	plans *plan.Cache
 
 	mu     sync.Mutex
 	wg     sync.WaitGroup // in-flight jobs
@@ -45,9 +47,10 @@ func NewCluster(opts ...ClusterOption) *Cluster {
 		o.applyCluster(&cc)
 	}
 	return &Cluster{
-		cfg:  cc,
-		pool: core.NewPool(cc.maxParallelism),
-		geom: core.NewGeometryCache(),
+		cfg:   cc,
+		pool:  core.NewPool(cc.maxParallelism),
+		geom:  core.NewGeometryCache(),
+		plans: plan.NewCache(),
 	}
 }
 
@@ -79,6 +82,13 @@ func (cl *Cluster) submitCore(ctx context.Context, p core.Problem, opts core.Opt
 		opts.Pool = cl.pool
 		opts.MaxParallelism = 0
 	}
+	// Runs carrying a workload plan key share the cluster's compiled-
+	// plan cache: the same canonical instance submitted twice (even by
+	// different tenants, even under different fault knobs) compiles its
+	// per-prime plans once. Keyless runs keep their plans private.
+	if opts.PlanKey != "" {
+		opts.Plans = cl.plans
+	}
 	opts.Geometry = cl.geom
 	opts.Observer = (*jobObserver)(j)
 	cl.mu.Lock()
@@ -95,6 +105,15 @@ func (cl *Cluster) submitCore(ctx context.Context, p core.Problem, opts core.Opt
 		j.finish(proof, rep, err)
 	}()
 	return j
+}
+
+// PlanCacheStats reports how the cluster's shared compiled-plan cache
+// has been used: hits count (workload, prime) lookups that found an
+// existing compiled plan (or one mid-compile), misses count first
+// compilations. Only runs submitted with a workload plan key (the serve
+// layer's digest-keyed submissions) touch the shared cache.
+func (cl *Cluster) PlanCacheStats() (hits, misses int64) {
+	return cl.plans.Stats()
 }
 
 // Close drains the cluster: new submissions fail with ErrClusterClosed,

@@ -10,7 +10,6 @@ package chromatic
 import (
 	"fmt"
 	"math/big"
-	"sync"
 
 	"camelot/internal/bipoly"
 	"camelot/internal/core"
@@ -19,6 +18,7 @@ import (
 	"camelot/internal/graph"
 	"camelot/internal/interp"
 	"camelot/internal/partition"
+	"camelot/internal/plan"
 	"camelot/internal/yates"
 )
 
@@ -31,14 +31,13 @@ type Problem struct {
 	n     int
 	split partition.Split
 
-	// planOnce/plan cache the x0- and q-independent independent-set
-	// structure of the cut for the batch path; see blockPlan.
-	planOnce sync.Once
-	plan     blockPlan
+	// masks holds the x0- and q-independent independent-set structure
+	// of the cut, built once at construction; see maskPlan.
+	masks maskPlan
 }
 
 var _ core.Problem = (*Problem)(nil)
-var _ core.BatchProblem = (*Problem)(nil)
+var _ core.CompiledProblem = (*Problem)(nil)
 
 // NewProblem builds the Theorem 6 problem for a simple graph.
 func NewProblem(g *graph.Graph) (*Problem, error) {
@@ -46,7 +45,9 @@ func NewProblem(g *graph.Graph) (*Problem, error) {
 	if n < 1 || n > 50 {
 		return nil, fmt.Errorf("chromatic: n = %d out of supported range [1, 50]", n)
 	}
-	return &Problem{g: g, n: n, split: partition.Balanced(n)}, nil
+	p := &Problem{g: g, n: n, split: partition.Balanced(n)}
+	p.buildMasks()
+	return p, nil
 }
 
 // Name implements core.Problem.
@@ -128,14 +129,14 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	return p.split.EvaluateAll(p.split.Ring(f), g, p.n+1)
 }
 
-// blockPlan is the evaluation-point-independent (and modulus-
+// maskPlan is the evaluation-point-independent (and modulus-
 // independent) part of nodeG: which subsets of each side of the cut are
 // independent sets, their sizes, and — for the E side — the gB table
 // index B \ Γ(X) the cross-cut lookup reads. Evaluate rediscovers this
 // per point with IsIndependentMask/NeighborhoodMask bit scans; the
-// batch path computes it once per Problem and reuses it for every
-// point of every block of every prime.
-type blockPlan struct {
+// compiled plan reuses the construction-time tables for every point of
+// every block of every prime.
+type maskPlan struct {
 	b []bMask
 	e []eMask
 }
@@ -151,13 +152,13 @@ type eMask struct {
 	pop  int
 }
 
-func (p *Problem) buildPlan() {
+func (p *Problem) buildMasks() {
 	ne := len(p.split.E)
 	nb := len(p.split.B)
 	fullB := uint64(1)<<uint(nb) - 1
 	for bm := uint64(0); bm <= fullB; bm++ {
 		if p.g.IsIndependentMask(bm << uint(ne)) {
-			p.plan.b = append(p.plan.b, bMask{mask: bm, pop: popcount(bm)})
+			p.masks.b = append(p.masks.b, bMask{mask: bm, pop: popcount(bm)})
 		}
 	}
 	for em := uint64(0); em < 1<<uint(ne); em++ {
@@ -165,41 +166,51 @@ func (p *Problem) buildPlan() {
 			continue
 		}
 		nbrB := (p.g.NeighborhoodMask(em) >> uint(ne)) & fullB
-		p.plan.e = append(p.plan.e, eMask{mask: em, comp: fullB &^ nbrB, pop: popcount(em)})
+		p.masks.e = append(p.masks.e, eMask{mask: em, comp: fullB &^ nbrB, pop: popcount(em)})
 	}
 }
 
-// EvaluateBlock implements core.BatchProblem: the independent-set scan
-// of both lattice sides — 2^{|E|} + 2^{|B|} mask/neighborhood probes per
-// point on the plain path — is hoisted into a once-per-Problem plan, so
-// each point of the block runs only the field-dependent work (x0 powers,
-// zeta transforms, the template's incremental t-powers). Arithmetic
-// order is identical to Evaluate, so results agree bit for bit (the
-// equivalence test cross-checks the two paths; the verification stage
-// re-evaluates through Evaluate either way).
-func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
-	p.planOnce.Do(p.buildPlan)
-	ring := p.split.Ring(f)
+// compiled is the chromatic Plan for one prime: the construction-time
+// mask tables bound to the field and its ring. All per-point state (x0
+// powers, the gB and g lattices) is allocated inside EvaluateBlock, so
+// one compiled plan serves concurrent chunk tasks.
+type compiled struct {
+	p    *Problem
+	f    ff.Field
+	ring bipoly.Ring
+}
+
+// Compile implements plan.Compiler: the independent-set scan of both
+// lattice sides — 2^{|E|} + 2^{|B|} mask/neighborhood probes per point
+// on the plain path — is hoisted out, so each point of a block runs
+// only the field-dependent work (x0 powers, zeta transforms, the
+// template's incremental t-powers). Arithmetic order is identical to
+// Evaluate, so results agree bit for bit (the equivalence test
+// cross-checks the two paths; the verification stage re-evaluates
+// through Evaluate either way).
+func (p *Problem) Compile(f ff.Field) (plan.Plan, error) {
+	return &compiled{p: p, f: f, ring: p.split.Ring(f)}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *compiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	p := c.p
 	ne := len(p.split.E)
 	nb := len(p.split.B)
 	rows := make([][]uint64, len(xs))
 	for i, x0 := range xs {
-		xp := p.split.NewXPowers(f, x0)
+		xp := p.split.NewXPowers(c.f, x0)
 		gB := make([]bipoly.Poly, 1<<uint(nb))
-		for _, m := range p.plan.b {
-			gB[m.mask] = ring.Monomial(0, m.pop, xp.ForMask(m.mask))
+		for _, m := range p.masks.b {
+			gB[m.mask] = c.ring.Monomial(0, m.pop, xp.ForMask(m.mask))
 		}
-		yates.Zeta(nb, gB, ring.AddInPlace)
+		yates.Zeta(nb, gB, c.ring.AddInPlace)
 		g := make([]bipoly.Poly, 1<<uint(ne))
-		for _, m := range p.plan.e {
-			g[m.mask] = ring.MulMonomial(gB[m.comp], m.pop, 0, 1)
+		for _, m := range p.masks.e {
+			g[m.mask] = c.ring.MulMonomial(gB[m.comp], m.pop, 0, 1)
 		}
-		yates.Zeta(ne, g, ring.AddInPlace)
-		row, err := p.split.EvaluateAll(ring, g, p.n+1)
+		yates.Zeta(ne, g, c.ring.AddInPlace)
+		row, err := p.split.EvaluateAll(c.ring, g, p.n+1)
 		if err != nil {
 			return nil, err
 		}

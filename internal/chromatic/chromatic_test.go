@@ -215,8 +215,8 @@ func TestInterpolationUtility(t *testing.T) {
 	}
 }
 
-// TestEvaluateBlockMatchesEvaluate pins the batch path against the
-// per-point path bit for bit (the BatchProblem contract: verification
+// TestEvaluateBlockMatchesEvaluate pins the compiled plan against the
+// per-point path bit for bit (the plan.Plan contract: verification
 // re-evaluates through Evaluate, so any divergence would surface as a
 // verification failure, not a wrong answer — but it must not happen).
 func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
@@ -231,8 +231,16 @@ func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
 				t.Fatal(err)
 			}
 			q := ff.NextPrime(p.MinModulus())
+			f, err := ff.New(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := p.Compile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
 			xs := []uint64{0, 1, 2, 7, 100, 1 << 19}
-			rows, err := p.EvaluateBlock(q, xs)
+			rows, err := pl.EvaluateBlock(xs)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -313,8 +313,16 @@ func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	f, err := ff.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	xs := []uint64{0, 1, 2, 7, 343, 344, 99991}
-	rows, err := p.EvaluateBlock(q, xs)
+	rows, err := pl.EvaluateBlock(xs)
 	if err != nil {
 		t.Fatal(err)
 	}

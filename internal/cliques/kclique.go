@@ -3,13 +3,13 @@ package cliques
 import (
 	"fmt"
 	"math/big"
-	"sync"
 
 	"camelot/internal/core"
 	"camelot/internal/crt"
 	"camelot/internal/ff"
 	"camelot/internal/graph"
 	"camelot/internal/matrix"
+	"camelot/internal/plan"
 	"camelot/internal/tensor"
 )
 
@@ -97,8 +97,9 @@ func Multinomial(k int) *big.Int {
 // with degree 3(R-1) for the rank R = dc.R() of the chosen matrix
 // multiplication tensor decomposition.
 //
-// Evaluate is safe for concurrent use; per-prime forms are built once
-// and cached.
+// The per-prime form build (zero-padding χ into the field and fixing
+// the decomposition bases) lives in Compile; point-wise Evaluate
+// rebuilds it per call and exists as the verification reference.
 type Problem struct {
 	g  *graph.Graph
 	k  int
@@ -106,14 +107,11 @@ type Problem struct {
 	dc tensor.Decomposition
 	// padN is the decomposition size N0^T >= sm.N; χ is zero-padded.
 	padN int
-
-	mu    sync.Mutex
-	forms map[uint64]*Form
 }
 
 var (
-	_ core.Problem      = (*Problem)(nil)
-	_ core.BatchProblem = (*Problem)(nil)
+	_ core.Problem         = (*Problem)(nil)
+	_ core.CompiledProblem = (*Problem)(nil)
 )
 
 // NewProblem builds the Camelot clique problem for a graph, a clique
@@ -128,7 +126,7 @@ func NewProblem(g *graph.Graph, k int, base tensor.Decomposition) (*Problem, err
 		return nil, err
 	}
 	dc, padN := base.ForSize(sm.N)
-	return &Problem{g: g, k: k, sm: sm, dc: dc, padN: padN, forms: make(map[uint64]*Form)}, nil
+	return &Problem{g: g, k: k, sm: sm, dc: dc, padN: padN}, nil
 }
 
 // Name implements core.Problem.
@@ -180,32 +178,24 @@ func numPrimesFor(bound *big.Int, minQ uint64) int {
 	return n
 }
 
-// formFor returns the (6,2)-form of χ over Z_q, building it on first use.
-func (p *Problem) formFor(q uint64) (*Form, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fm, ok := p.forms[q]; ok {
-		return fm, nil
-	}
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
+// buildForm constructs the (6,2)-form of χ over the field: the
+// zero-padded subset matrix lifted into Z_q.
+func (p *Problem) buildForm(f ff.Field) (*Form, error) {
 	chi := matrix.New(f, p.padN, p.padN)
 	for i := 0; i < p.sm.N; i++ {
 		copy(chi.A[i*p.padN:i*p.padN+p.sm.N], p.sm.Entries[i*p.sm.N:(i+1)*p.sm.N])
 	}
-	fm, err := NewUniformForm(f, chi)
+	return NewUniformForm(f, chi)
+}
+
+// Evaluate implements core.Problem: P(x0) mod q via §5.3. It rebuilds
+// the form per call — the compiled plan is the amortized path.
+func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
+	f, err := ff.New(q)
 	if err != nil {
 		return nil, err
 	}
-	p.forms[q] = fm
-	return fm, nil
-}
-
-// Evaluate implements core.Problem: P(x0) mod q via §5.3.
-func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	fm, err := p.formFor(q)
+	fm, err := p.buildForm(f)
 	if err != nil {
 		return nil, err
 	}
@@ -216,15 +206,29 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	return []uint64{v}, nil
 }
 
-// EvaluateBlock implements core.BatchProblem: one form fetch and one
-// tensor point-evaluator serve the whole block, instead of rebuilding
-// Lagrange tables and reduced bases three times per point.
-func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	fm, err := p.formFor(q)
+// compiled is the clique Plan for one prime: the form is built once at
+// compile time; each EvaluateBlock call makes its own tensor
+// point-evaluator (Form.Combine allocates per call), so one plan serves
+// concurrent chunk tasks.
+type compiled struct {
+	p  *Problem
+	fm *Form
+}
+
+// Compile implements plan.Compiler: one form build and one tensor
+// point-evaluator per block, instead of rebuilding Lagrange tables and
+// reduced bases three times per point.
+func (p *Problem) Compile(f ff.Field) (plan.Plan, error) {
+	fm, err := p.buildForm(f)
 	if err != nil {
 		return nil, err
 	}
-	vals, err := fm.ProofEvalBlock(p.dc, xs)
+	return &compiled{p: p, fm: fm}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *compiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	vals, err := c.fm.ProofEvalBlock(c.p.dc, xs)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +360,11 @@ func CountParts(g *graph.Graph, k int, base tensor.Decomposition, parallelism in
 	}
 	residues := make([]uint64, len(primes))
 	for i, q := range primes {
-		fm, err := p.formFor(q)
+		f, err := ff.New(q)
+		if err != nil {
+			return nil, err
+		}
+		fm, err := p.buildForm(f)
 		if err != nil {
 			return nil, err
 		}

@@ -13,7 +13,9 @@ import (
 	"math/rand"
 
 	"camelot/internal/core"
+	"camelot/internal/ff"
 	"camelot/internal/orthvec"
+	"camelot/internal/plan"
 )
 
 // Formula is a CNF formula. Literals are nonzero integers: +v means
@@ -57,8 +59,8 @@ type Problem struct {
 }
 
 var (
-	_ core.Problem      = (*Problem)(nil)
-	_ core.BatchProblem = (*Problem)(nil)
+	_ core.Problem         = (*Problem)(nil)
+	_ core.CompiledProblem = (*Problem)(nil)
 )
 
 // NewProblem builds the Theorem 8(1) problem. The first ⌈v/2⌉ variables
@@ -119,11 +121,11 @@ func (p *Problem) NumPrimes() int { return p.ov.NumPrimes() }
 // Evaluate implements core.Problem.
 func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) { return p.ov.Evaluate(q, x0) }
 
-// EvaluateBlock implements core.BatchProblem, inheriting the orthogonal
-// vectors batch path: the half-assignment matrices are large (2^{v/2}
-// rows), so amortizing the per-prime Lagrange setup matters here most.
-func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	return p.ov.EvaluateBlock(q, xs)
+// Compile implements plan.Compiler, inheriting the orthogonal vectors
+// compiled path: the half-assignment matrices are large (2^{v/2} rows),
+// so amortizing the per-prime Lagrange setup matters here most.
+func (p *Problem) Compile(f ff.Field) (plan.Plan, error) {
+	return p.ov.Compile(f)
 }
 
 // satisfiesNoLiteral reports whether the assignment (bit b of mask =

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"camelot/internal/core"
+	"camelot/internal/ff"
 )
 
 func TestCountBruteKnown(t *testing.T) {
@@ -157,8 +158,16 @@ func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := uint64(1048583)
+	fld, err := ff.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.Compile(fld)
+	if err != nil {
+		t.Fatal(err)
+	}
 	xs := []uint64{0, 1, 7, 100, 54321}
-	rows, err := p.EvaluateBlock(q, xs)
+	rows, err := pl.EvaluateBlock(xs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,10 +9,10 @@ package conv3sum
 import (
 	"fmt"
 	"math/big"
-	"sync"
 
 	"camelot/internal/core"
 	"camelot/internal/ff"
+	"camelot/internal/plan"
 	"camelot/internal/poly"
 )
 
@@ -22,16 +22,12 @@ type Problem struct {
 	a []uint64 // 1-based array packed at index 0..n-1
 	n int      // even
 	t int      // bit width
-
-	mu sync.Mutex
-	// coeffs[q][j] caches the coefficient form of the bit-column
-	// interpolant A_j over Z_q (computed once, evaluated at many points
-	// with fast multipoint evaluation).
-	coeffs map[uint64][][]uint64
-	rings  map[uint64]*poly.Ring
 }
 
-var _ core.Problem = (*Problem)(nil)
+var (
+	_ core.Problem         = (*Problem)(nil)
+	_ core.CompiledProblem = (*Problem)(nil)
+)
 
 // NewProblem builds the problem for an array of n (even) t-bit integers.
 // a[i] is the 1-based A[i+1].
@@ -48,7 +44,7 @@ func NewProblem(a []uint64, t int) (*Problem, error) {
 			return nil, fmt.Errorf("conv3sum: A[%d] = %d exceeds %d bits", i+1, v, t)
 		}
 	}
-	return &Problem{a: a, n: n, t: t, coeffs: make(map[uint64][][]uint64), rings: make(map[uint64]*poly.Ring)}, nil
+	return &Problem{a: a, n: n, t: t}, nil
 }
 
 // Name implements core.Problem.
@@ -79,16 +75,12 @@ func (p *Problem) MinModulus() uint64 {
 // NumPrimes implements core.Problem.
 func (p *Problem) NumPrimes() int { return 1 }
 
-// columns returns (building once per modulus) the coefficient forms of
-// the t bit-column interpolants over Z_q: A_j(i) = bit j of A[i] for
-// i = 1..n.
-func (p *Problem) columns(q uint64) (*poly.Ring, [][]uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if cs, ok := p.coeffs[q]; ok {
-		return p.rings[q], cs
-	}
-	ring := poly.NewRing(ff.Must(q)) // q originates from the framework's prime selection
+// columns returns the coefficient forms of the t bit-column
+// interpolants over the field: A_j(i) = bit j of A[i] for i = 1..n.
+// The compiled plan hoists this per-prime interpolation out of the
+// per-point path; Evaluate rebuilds it per call.
+func (p *Problem) columns(f ff.Field) (*poly.Ring, [][]uint64) {
+	ring := poly.NewRing(f)
 	points := make([]uint64, p.n)
 	for i := range points {
 		points[i] = uint64(i + 1)
@@ -101,8 +93,6 @@ func (p *Problem) columns(q uint64) (*poly.Ring, [][]uint64) {
 		}
 		cs[j] = ring.Interpolate(points, vals)
 	}
-	p.rings[q] = ring
-	p.coeffs[q] = cs
 	return ring, cs
 }
 
@@ -115,7 +105,7 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	ring, cs := p.columns(q)
+	ring, cs := p.columns(f)
 	half := p.n / 2
 	pts := make([]uint64, half+1)
 	pts[0] = x0 % q
@@ -142,6 +132,63 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 		total = f.Add(total, rippleCarryT(f, y, z, w))
 	}
 	return []uint64{total}, nil
+}
+
+// compiled is the Convolution3SUM Plan for one prime: the t bit-column
+// interpolants are in coefficient form, computed once per compile; each
+// point then costs one multipoint evaluation sweep plus the n/2
+// ripple-carry products. The ring's transform scratch is pooled
+// internally, so one plan serves concurrent chunk tasks.
+type compiled struct {
+	p    *Problem
+	f    ff.Field
+	ring *poly.Ring
+	cs   [][]uint64 // coefficient forms, read-only after compile
+}
+
+// Compile implements plan.Compiler: it hoists the per-prime column
+// interpolation (t polynomial interpolations of degree n-1) that
+// Evaluate pays on every call. The per-point arithmetic is identical to
+// Evaluate — same multipoint evaluator, same ripple-carry composition —
+// so rows agree bit for bit.
+func (p *Problem) Compile(f ff.Field) (plan.Plan, error) {
+	ring, cs := p.columns(f)
+	return &compiled{p: p, f: f, ring: ring, cs: cs}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *compiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	p, f := c.p, c.f
+	q := f.Q
+	half := p.n / 2
+	pts := make([]uint64, half+1)
+	colVals := make([][]uint64, p.t)
+	y := make([]uint64, p.t)
+	z := make([]uint64, p.t)
+	w := make([]uint64, p.t)
+	out := make([][]uint64, len(xs))
+	for xi, x0 := range xs {
+		pts[0] = x0 % q
+		for l := 1; l <= half; l++ {
+			pts[l] = f.Add(x0%q, uint64(l)%q)
+		}
+		for j := 0; j < p.t; j++ {
+			colVals[j] = c.ring.EvalMany(c.cs[j], pts)
+		}
+		for j := range y {
+			y[j] = colVals[j][0]
+		}
+		total := uint64(0)
+		for l := 1; l <= half; l++ {
+			for j := 0; j < p.t; j++ {
+				z[j] = (p.a[l-1] >> uint(j)) & 1
+				w[j] = colVals[j][l]
+			}
+			total = f.Add(total, rippleCarryT(f, y, z, w))
+		}
+		out[xi] = []uint64{total}
+	}
+	return out, nil
 }
 
 // rippleCarryT evaluates the 3t-variate adder-indicator polynomial T of

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"camelot/internal/ff"
+	"camelot/internal/plan"
 )
 
 // Problem is a Camelot proof system: a family of Width() univariate proof
@@ -197,6 +198,18 @@ type Options struct {
 	// code construction across runs — the Cluster's warm per-prime
 	// state. One-shot runs leave it nil and recompute per run.
 	Geometry *GeometryCache
+	// Plans, when non-nil and paired with a non-empty PlanKey, memoizes
+	// compiled evaluation plans across runs: the run's planner keys its
+	// per-prime compiles into this shared cache instead of a private
+	// one, so repeated submissions of the same workload skip compilation
+	// entirely. Within a single run plans are always shared across
+	// chunks and repair rounds, shared cache or not.
+	Plans *plan.Cache
+	// PlanKey identifies the workload instance in the shared Plans
+	// cache. It must be derived from a canonical instance encoding (the
+	// serve layer uses the workload's plan digest) — never a display
+	// name, which distinct instances can share. Empty disables sharing.
+	PlanKey string
 	// Observer, when non-nil, receives progress callbacks (stage
 	// transitions, evaluation units done, live suspect counts).
 	Observer Observer

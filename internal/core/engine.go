@@ -77,11 +77,16 @@ type Report struct {
 // engine holds one run's resolved geometry and shared state; its methods
 // are the pipeline stages.
 type engine struct {
-	p      Problem
-	opts   Options
-	w, d   int // width, degree bound
-	e, k   int // code length, node count (clamped to e)
-	primes []uint64
+	p    Problem
+	opts Options
+	// planner resolves and memoizes the run's per-prime evaluation
+	// plans: every chunk task and repair round of this run shares one
+	// compile per prime, and runs submitted with Options.Plans/PlanKey
+	// share compiles across runs.
+	planner *Planner
+	w, d    int // width, degree bound
+	e, k    int // code length, node count (clamped to e)
+	primes  []uint64
 	assign PointAssignment
 	codes  []*rs.Code
 	report *Report
@@ -162,7 +167,8 @@ func newEngine(p Problem, opts Options) (*engine, error) {
 	}
 	return &engine{
 		p: p, opts: opts, w: w, d: d, e: e, k: k,
-		primes: primes,
+		planner: NewSharedPlanner(p, opts.Plans, opts.PlanKey),
+		primes:  primes,
 		assign: NewPointAssignment(e, k),
 		codes:  codes,
 		obs:    obs,
@@ -529,7 +535,7 @@ func (en *engine) runRound(ctx context.Context, nodes []*prepNode, chunks []prep
 			chk := chunks[ti]
 			st := nodes[chk.node]
 			start := time.Now()
-			err := evaluateRangeInto(sendCtx, en.p, en.primes[chk.prime], chk.lo, chk.hi, en.w,
+			err := evaluateRangeInto(sendCtx, en.planner, en.primes[chk.prime], chk.lo, chk.hi, en.w,
 				st.msg.Vals[chk.prime], st.msg.Lo, en.opts.BlockSize)
 			st.elapsedNS.Add(int64(time.Since(start)))
 			if err != nil {

@@ -293,14 +293,14 @@ func TestEvaluateRangeChunksBatchWithCancellationChecks(t *testing.T) {
 	ctx := context.Background()
 	const blockSize = 256
 	const q, lo, hi = 257, 0, 2*blockSize + 10
-	batch, err := evaluateRange(ctx, bp, q, lo, hi, bp.Width(), blockSize)
+	batch, err := evaluateRange(ctx, NewPlanner(bp), q, lo, hi, bp.Width(), blockSize)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if calls := bp.blockCalls.Load(); calls != 3 {
 		t.Fatalf("range of %d points used %d blocks, want 3 chunks of <= %d", hi-lo, calls, blockSize)
 	}
-	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, bp.Width(), blockSize)
+	point, err := evaluateRange(ctx, NewPlanner(bp.polyProblem), q, lo, hi, bp.Width(), blockSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestEvaluateRangeChunksBatchWithCancellationChecks(t *testing.T) {
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
 	before := bp.blockCalls.Load()
-	if _, err := evaluateRange(cancelled, bp, q, lo, hi, bp.Width(), blockSize); !errors.Is(err, context.Canceled) {
+	if _, err := evaluateRange(cancelled, NewPlanner(bp), q, lo, hi, bp.Width(), blockSize); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if bp.blockCalls.Load() != before {
@@ -327,7 +327,7 @@ func TestEvaluateRangeAutotunesBlockSize(t *testing.T) {
 	// probe, and these near-free evaluations push the steady-state size
 	// to the maxBatchChunk clamp, so the whole range takes
 	// 1 + ceil((hi-probeChunk)/maxBatchChunk) calls.
-	batch, err := evaluateRange(ctx, bp, q, lo, hi, bp.Width(), 0)
+	batch, err := evaluateRange(ctx, NewPlanner(bp), q, lo, hi, bp.Width(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +336,7 @@ func TestEvaluateRangeAutotunesBlockSize(t *testing.T) {
 		t.Fatalf("autotuned range of %d points used %d blocks, want %d (probe %d + clamp %d)",
 			hi-lo, calls, wantCalls, probeChunk, maxBatchChunk)
 	}
-	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, bp.Width(), 0)
+	point, err := evaluateRange(ctx, NewPlanner(bp.polyProblem), q, lo, hi, bp.Width(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,11 +498,11 @@ func TestEvaluateRangeFallbackMatchesBatch(t *testing.T) {
 	ctx := context.Background()
 	const q, lo, hi = 257, 2, 9
 	w := bp.Width()
-	batch, err := evaluateRange(ctx, bp, q, lo, hi, w, 0)
+	batch, err := evaluateRange(ctx, NewPlanner(bp), q, lo, hi, w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	point, err := evaluateRange(ctx, bp.polyProblem, q, lo, hi, w, 0)
+	point, err := evaluateRange(ctx, NewPlanner(bp.polyProblem), q, lo, hi, w, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

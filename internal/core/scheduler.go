@@ -29,6 +29,11 @@ import (
 // Results must be identical to point-wise Evaluate — the verification
 // stage evaluates through Evaluate, so a divergent batch path fails
 // verification rather than silently corrupting the proof.
+//
+// BatchProblem is the uncached legacy seam: every in-tree problem now
+// implements CompiledProblem instead (see planner.go), whose compiled
+// plans the framework memoizes per prime and shares across chunks,
+// repair rounds, and runs. New block implementations should compile.
 type BatchProblem interface {
 	Problem
 	EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error)
@@ -143,14 +148,15 @@ feed:
 }
 
 // evaluateRange computes vals[coord][x-lo] = P_coord(x) mod q for the
-// point range [lo, hi), through EvaluateBlock when the problem supports
-// it and point-at-a-time Evaluate otherwise.
-func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width, blockSize int) ([][]uint64, error) {
+// point range [lo, hi), through the planner's block evaluator (a
+// compiled plan or a legacy EvaluateBlock) when the problem has one and
+// point-at-a-time Evaluate otherwise.
+func evaluateRange(ctx context.Context, pl *Planner, q uint64, lo, hi, width, blockSize int) ([][]uint64, error) {
 	vals := make([][]uint64, width)
 	for c := range vals {
 		vals[c] = make([]uint64, hi-lo)
 	}
-	if err := evaluateRangeInto(ctx, p, q, lo, hi, width, vals, lo, blockSize); err != nil {
+	if err := evaluateRangeInto(ctx, pl, q, lo, hi, width, vals, lo, blockSize); err != nil {
 		return nil, err
 	}
 	return vals, nil
@@ -159,18 +165,24 @@ func evaluateRange(ctx context.Context, p Problem, q uint64, lo, hi, width, bloc
 // evaluateRangeInto evaluates the point range [lo, hi) directly into
 // dst[coord][x-base] — the engine's form, where several chunk tasks of
 // the same node write disjoint slices of one shared message buffer.
-// blockSize > 0 fixes the EvaluateBlock chunk size; <= 0 autotunes it
-// from a first-chunk timing probe (each range task probes for itself:
-// the probe is real work, and per-point cost can differ across primes).
-func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width int, dst [][]uint64, base int, blockSize int) error {
-	if bp, ok := p.(BatchProblem); ok {
+// The planner memoizes the per-prime compile, so every chunk of a run
+// shares one plan per prime instead of recompiling per chunk.
+// blockSize > 0 fixes the block chunk size; <= 0 autotunes it from a
+// first-chunk timing probe (each range task probes for itself: the
+// probe is real work, and per-point cost can differ across primes).
+func evaluateRangeInto(ctx context.Context, pl *Planner, q uint64, lo, hi, width int, dst [][]uint64, base int, blockSize int) error {
+	bp, err := pl.For(q)
+	if err != nil {
+		return fmt.Errorf("compiling plan mod %d: %w", q, err)
+	}
+	if bp != nil {
 		autotune := blockSize <= 0
 		chunk := blockSize
 		if autotune {
 			chunk = probeChunk
 		}
 		// One chunk buffer for the whole range; EvaluateBlock must not
-		// retain its argument (see the BatchProblem contract).
+		// retain its argument (see the Plan contract).
 		var xs []uint64
 		for start := lo; start < hi; {
 			if err := ctx.Err(); err != nil {
@@ -188,7 +200,7 @@ func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width i
 				xs[i] = uint64(start + i)
 			}
 			probeStart := time.Now()
-			rows, err := bp.EvaluateBlock(q, xs)
+			rows, err := bp.EvaluateBlock(xs)
 			if err != nil {
 				return fmt.Errorf("evaluating block [%d,%d) mod %d: %w", start, end, q, err)
 			}
@@ -211,6 +223,7 @@ func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width i
 		}
 		return nil
 	}
+	p := pl.Problem()
 	for x := lo; x < hi; x++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -232,20 +245,26 @@ func evaluateRangeInto(ctx context.Context, p Problem, q uint64, lo, hi, width i
 // EvaluateShares computes one complete NodeShares message for the
 // point range [lo, hi): every prime's width×span evaluation block,
 // stamped with the logical owner, the physical sender, and the gather
-// round. It is the worker daemon's whole compute path (internal/ctrl),
-// and it reuses the engine's evaluateRange so a remotely produced
+// round. It reuses the engine's evaluateRange so a remotely produced
 // frame is bit-identical to what the in-process prepare stage would
 // have broadcast — the property the multi-process bit-identity checks
 // pin. Block size autotunes exactly as in-process evaluation does.
-func EvaluateShares(ctx context.Context, p Problem, primes []uint64, owner, from, round, lo, hi int) (NodeShares, error) {
+//
+// The method form is the worker daemon's whole compute path
+// (internal/ctrl): a worker keeps one Planner per assignment manifest,
+// so the per-prime compile persists across assignments and repair
+// rounds of the same workload. The free function wraps a throwaway
+// Planner for one-shot callers.
+func (pl *Planner) EvaluateShares(ctx context.Context, primes []uint64, owner, from, round, lo, hi int) (NodeShares, error) {
 	m := NodeShares{
 		ID: owner, From: from, Round: round,
 		Lo: lo, Hi: hi,
 		Vals: make([][][]uint64, len(primes)),
 	}
+	width := pl.Problem().Width()
 	start := time.Now()
 	for pi, q := range primes {
-		vals, err := evaluateRange(ctx, p, q, lo, hi, p.Width(), 0)
+		vals, err := evaluateRange(ctx, pl, q, lo, hi, width, 0)
 		if err != nil {
 			return m, err
 		}
@@ -253,4 +272,10 @@ func EvaluateShares(ctx context.Context, p Problem, primes []uint64, owner, from
 	}
 	m.Elapsed = time.Since(start)
 	return m, nil
+}
+
+// EvaluateShares is the one-shot form of Planner.EvaluateShares: it
+// compiles (and discards) plans for this call only.
+func EvaluateShares(ctx context.Context, p Problem, primes []uint64, owner, from, round, lo, hi int) (NodeShares, error) {
+	return NewPlanner(p).EvaluateShares(ctx, primes, owner, from, round, lo, hi)
 }

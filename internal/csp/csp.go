@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
-	"sync"
 
 	"camelot/internal/cliques"
 	"camelot/internal/core"
@@ -20,6 +19,7 @@ import (
 	"camelot/internal/ff"
 	"camelot/internal/interp"
 	"camelot/internal/matrix"
+	"camelot/internal/plan"
 	"camelot/internal/tensor"
 )
 
@@ -96,12 +96,12 @@ type Problem struct {
 	dc          tensor.Decomposition
 	padN        int
 	totalWeight int
-
-	mu    sync.Mutex
-	forms map[uint64][]*cliques.Form // per prime: one form per w0 = 0..m
 }
 
-var _ core.Problem = (*Problem)(nil)
+var (
+	_ core.Problem         = (*Problem)(nil)
+	_ core.CompiledProblem = (*Problem)(nil)
+)
 
 // pairIndex enumerates the 15 pairs (s, t), 0-based s < t < 6.
 func pairIndex(s, t int) int {
@@ -124,7 +124,7 @@ func NewProblem(sys *System, base tensor.Decomposition) (*Problem, error) {
 			return nil, fmt.Errorf("csp: σ^{n/6} = %d too large", nAssign)
 		}
 	}
-	p := &Problem{sys: sys, blockSize: bs, nAssign: nAssign, totalWeight: sys.TotalWeight(), forms: make(map[uint64][]*cliques.Form)}
+	p := &Problem{sys: sys, blockSize: bs, nAssign: nAssign, totalWeight: sys.TotalWeight()}
 	for i := range p.fType {
 		p.fType[i] = make([]int, nAssign*nAssign)
 	}
@@ -226,17 +226,11 @@ func (p *Problem) NumPrimes() int {
 	return np
 }
 
-// formsFor builds (once per prime) the m+1 forms over Z_q, one per w0.
-func (p *Problem) formsFor(q uint64) ([]*cliques.Form, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fs, ok := p.forms[q]; ok {
-		return fs, nil
-	}
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
+// formsFor builds the m+1 forms over the field, one per w0. The
+// compiled plan hoists this per-prime build out of the per-point path;
+// Evaluate rebuilds it per call.
+func (p *Problem) formsFor(f ff.Field) ([]*cliques.Form, error) {
+	q := f.Q
 	w := p.totalWeight
 	fs := make([]*cliques.Form, w+1)
 	for w0 := 0; w0 <= w; w0++ {
@@ -264,18 +258,17 @@ func (p *Problem) formsFor(q uint64) ([]*cliques.Form, error) {
 		}
 		fs[w0] = form
 	}
-	p.forms[q] = fs
 	return fs, nil
 }
 
 // Evaluate implements core.Problem: the tensor coefficient matrices at
 // x0 are computed once and combined through each w0's form.
 func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
-	fs, err := p.formsFor(q)
+	f, err := ff.New(q)
 	if err != nil {
 		return nil, err
 	}
-	f, err := ff.New(q)
+	fs, err := p.formsFor(f)
 	if err != nil {
 		return nil, err
 	}
@@ -289,6 +282,50 @@ func (p *Problem) Evaluate(q, x0 uint64) ([]uint64, error) {
 			return nil, err
 		}
 		out[w0] = v
+	}
+	return out, nil
+}
+
+// compiled is the 2-CSP Plan for one prime: the W+1 forms (each a set
+// of 15 interpolated coefficient matrices) are built once at compile
+// time; each block shares one tensor point-evaluator across its points,
+// and Form.Combine allocates its intermediates per call, so one plan
+// serves concurrent chunk tasks.
+type compiled struct {
+	p  *Problem
+	f  ff.Field
+	fs []*cliques.Form
+}
+
+// Compile implements plan.Compiler: the per-prime form build (W+1 sets
+// of 15 padded σ^{n/6}-square matrices) that Evaluate pays per call
+// compiles once, and the per-point Lagrange setup of the coefficient
+// matrices amortizes across the block through a point evaluator. The
+// evaluator produces the same matrices as Alpha/Beta/GammaMatrixAtPoint
+// bit for bit, so compiled rows match Evaluate exactly.
+func (p *Problem) Compile(f ff.Field) (plan.Plan, error) {
+	fs, err := p.formsFor(f)
+	if err != nil {
+		return nil, err
+	}
+	return &compiled{p: p, f: f, fs: fs}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *compiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	pe := c.p.dc.NewPointEvaluator(c.f)
+	out := make([][]uint64, len(xs))
+	for xi, x0 := range xs {
+		alpha, beta, gamma := pe.MatricesAt(x0)
+		row := make([]uint64, len(c.fs))
+		for w0, form := range c.fs {
+			v, err := form.Combine(alpha, beta, gamma)
+			if err != nil {
+				return nil, err
+			}
+			row[w0] = v
+		}
+		out[xi] = row
 	}
 	return out, nil
 }

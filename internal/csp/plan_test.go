@@ -1,0 +1,70 @@
+package csp
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"camelot/internal/core"
+	"camelot/internal/ff"
+	"camelot/internal/tensor"
+)
+
+// TestEvaluateBlockMatchesEvaluate: the compiled plan builds the W+1
+// forms once per prime and shares one tensor point-evaluator per
+// block; every residue of the width-(W+1) row must stay bit-identical
+// to per-point Evaluate across seeds and primes. A shared plan is also
+// driven from concurrent goroutines for the race detector.
+func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		sys := RandomSystem(6, 2, 5, 0.5, seed)
+		p, err := NewProblem(sys, tensor.Strassen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		primes, err := core.ChoosePrimes(2, p.MinModulus(), int(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := []uint64{0, 1, 2, 7, 100, 54321, 1 << 19}
+		for _, q := range primes {
+			f, err := ff.New(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := p.Compile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := pl.EvaluateBlock(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range xs {
+				want, err := p.Evaluate(q, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(rows[i], want) {
+					t.Fatalf("q=%d x=%d: block %v != point %v", q, x, rows[i], want)
+				}
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got, err := pl.EvaluateBlock(xs)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !reflect.DeepEqual(got, rows) {
+						t.Errorf("q=%d: concurrent block diverged", q)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+}

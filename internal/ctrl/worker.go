@@ -80,12 +80,15 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Join == "" {
 		return fmt.Errorf("ctrl: worker needs a coordinator address")
 	}
-	problems := map[string]core.Problem{}
+	// planners persist across assignments, reconnects, and repair
+	// rounds: each caches its problem's compiled per-prime plans, so a
+	// re-assigned range re-enters evaluation without recompiling.
+	planners := map[string]*core.Planner{}
 	var resume []byte
 	backoff := cfg.RetryBackoff
 	failures := 0
 	for {
-		joined, terminal, err := serveWorker(ctx, cfg, &resume, problems)
+		joined, terminal, err := serveWorker(ctx, cfg, &resume, planners)
 		if terminal {
 			return err
 		}
@@ -114,7 +117,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // serveWorker runs one connection's lifetime. joined reports whether
 // the handshake completed (resets the retry budget); terminal means
 // RunWorker must return err instead of reconnecting.
-func serveWorker(ctx context.Context, cfg WorkerConfig, resume *[]byte, problems map[string]core.Problem) (joined, terminal bool, err error) {
+func serveWorker(ctx context.Context, cfg WorkerConfig, resume *[]byte, planners map[string]*core.Planner) (joined, terminal bool, err error) {
 	conn, err := net.DialTimeout("tcp", cfg.Join, cfg.DialTimeout)
 	if err != nil {
 		return false, false, err
@@ -168,7 +171,7 @@ func serveWorker(ctx context.Context, cfg WorkerConfig, resume *[]byte, problems
 			if cfg.FailOwner > 0 && m.Owner == cfg.FailOwner && m.Round == 0 {
 				return joined, true, fmt.Errorf("%w: assigned node %d", ErrFailInjected, m.Owner)
 			}
-			if err := runAssign(ctx, wc, ack.Worker, m, problems); err != nil {
+			if err := runAssign(ctx, wc, ack.Worker, m, planners); err != nil {
 				if ctx.Err() != nil {
 					return joined, true, ctx.Err()
 				}
@@ -188,8 +191,8 @@ func serveWorker(ctx context.Context, cfg WorkerConfig, resume *[]byte, problems
 // evaluation-side failure — unknown kind, geometry skew, a problem
 // error — travels as an in-band Err frame: a delivery outcome the
 // coordinator's fault accounting understands, not a silent hang.
-func runAssign(ctx context.Context, wc *wireConn, slot int, m Assign, problems map[string]core.Problem) error {
-	shares, err := evaluateAssign(ctx, slot, m, problems)
+func runAssign(ctx context.Context, wc *wireConn, slot int, m Assign, planners map[string]*core.Planner) error {
+	shares, err := evaluateAssign(ctx, slot, m, planners)
 	if err != nil {
 		if ctx.Err() != nil {
 			return err
@@ -206,19 +209,19 @@ func runAssign(ctx context.Context, wc *wireConn, slot int, m Assign, problems m
 	return wc.send(shares)
 }
 
-func evaluateAssign(ctx context.Context, slot int, m Assign, problems map[string]core.Problem) (core.NodeShares, error) {
+func evaluateAssign(ctx context.Context, slot int, m Assign, planners map[string]*core.Planner) (core.NodeShares, error) {
 	cacheKey := m.Kind + "\x00" + string(m.Instance)
-	p, ok := problems[cacheKey]
+	pl, ok := planners[cacheKey]
 	if !ok {
-		var err error
-		p, err = buildProblem(m.Kind, m.Instance)
+		p, err := buildProblem(m.Kind, m.Instance)
 		if err != nil {
 			return core.NodeShares{}, err
 		}
-		problems[cacheKey] = p
+		pl = core.NewPlanner(p)
+		planners[cacheKey] = pl
 	}
-	if w := p.Width(); w != m.Width {
+	if w := pl.Problem().Width(); w != m.Width {
 		return core.NodeShares{}, fmt.Errorf("ctrl: assign width %d but problem %q has width %d (build skew?)", m.Width, m.Kind, w)
 	}
-	return core.EvaluateShares(ctx, p, m.Primes, m.Owner, slot, m.Round, m.Lo, m.Hi)
+	return pl.EvaluateShares(ctx, m.Primes, m.Owner, slot, m.Round, m.Lo, m.Hi)
 }

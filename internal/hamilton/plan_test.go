@@ -1,0 +1,83 @@
+package hamilton
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"camelot/internal/core"
+	"camelot/internal/ff"
+	"camelot/internal/graph"
+)
+
+// checkPlanMatches verifies the compiled plan is bit-identical to
+// per-point Evaluate across every supplied prime, and that one shared
+// plan instance survives concurrent EvaluateBlock calls (the race
+// detector checks compiled state is read-only, scratch per call).
+func checkPlanMatches(t *testing.T, p core.CompiledProblem, seed int64) {
+	t.Helper()
+	primes, err := core.ChoosePrimes(2, p.MinModulus(), int(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []uint64{0, 1, 2, 7, 31, 100, 54321, 1 << 19}
+	for _, q := range primes {
+		f, err := ff.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := p.Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := pl.EvaluateBlock(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range xs {
+			want, err := p.Evaluate(q, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rows[i], want) {
+				t.Fatalf("q=%d x=%d: block %v != point %v", q, x, rows[i], want)
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got, err := pl.EvaluateBlock(xs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, rows) {
+					t.Errorf("q=%d: concurrent block diverged", q)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestEvaluateBlockMatchesEvaluate: verification re-evaluates through
+// Evaluate, so any plan divergence would break the protocol. The
+// factored walk kernel relies on distributivity mod q; this checks it
+// across seeds and primes, for both cycles and paths.
+func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.Gnp(9, 0.5, seed)
+		cyc, err := NewProblem(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlanMatches(t, cyc, seed)
+		pth, err := NewPathProblem(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlanMatches(t, pth, seed)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"camelot/internal/core"
 	"camelot/internal/ff"
+	"camelot/internal/plan"
 )
 
 // BoolMatrix is an n×t 0/1 matrix, rows are vectors.
@@ -47,8 +48,8 @@ type OVProblem struct {
 }
 
 var (
-	_ core.Problem      = (*OVProblem)(nil)
-	_ core.BatchProblem = (*OVProblem)(nil)
+	_ core.Problem         = (*OVProblem)(nil)
+	_ core.CompiledProblem = (*OVProblem)(nil)
 )
 
 // NewOVProblem builds the problem for equal-width matrices.
@@ -124,18 +125,30 @@ func (p *OVProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	return []uint64{total}, nil
 }
 
-// EvaluateBlock implements core.BatchProblem: the Lagrange factorial
-// and denominator tables are built once per prime instead of once per
+// ovCompiled is the OVProblem Plan for one prime. The Lagrange
+// evaluator carries scratch, so it is built per EvaluateBlock call (its
+// factorial/denominator setup amortizes over the block's points); the
+// basis/column scratch vectors are likewise per call, making one plan
+// safe for concurrent chunk tasks.
+type ovCompiled struct {
+	p *OVProblem
+	f ff.Field
+}
+
+// Compile implements plan.Compiler: the Lagrange factorial and
+// denominator tables are built once per block instead of once per
 // point, and the basis/column scratch vectors are reused across the
 // block, leaving only the irreducible Õ(nt) combination work per point.
 // Deliberately not shared with Evaluate (which verification uses): the
 // two paths go through different Lagrange kernels and cross-check each
 // other.
-func (p *OVProblem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
+func (p *OVProblem) Compile(f ff.Field) (plan.Plan, error) {
+	return &ovCompiled{p: p, f: f}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *ovCompiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	p, f := c.p, c.f
 	k := f.Kernel()
 	le := f.NewLagrangeEvaluatorOneBased(p.a.N)
 	lam := make([]uint64, p.a.N)
@@ -237,7 +250,10 @@ type HammingProblem struct {
 	grid int
 }
 
-var _ core.Problem = (*HammingProblem)(nil)
+var (
+	_ core.Problem         = (*HammingProblem)(nil)
+	_ core.CompiledProblem = (*HammingProblem)(nil)
+)
 
 // NewHammingProblem builds the problem.
 func NewHammingProblem(a, b *BoolMatrix) (*HammingProblem, error) {
@@ -334,6 +350,85 @@ func (p *HammingProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 		total = f.Add(total, prod)
 	}
 	return []uint64{total}, nil
+}
+
+// hammingCompiled is the HammingProblem Plan for one prime: the
+// Lagrange evaluator and the z/w scratch are per-call, the point loop
+// otherwise mirrors Evaluate exactly (same arithmetic order, so rows
+// are bit-identical).
+type hammingCompiled struct {
+	p *HammingProblem
+	f ff.Field
+}
+
+// Compile implements plan.Compiler: the Lagrange factorial and
+// denominator tables build once per block instead of once per point.
+func (p *HammingProblem) Compile(f ff.Field) (plan.Plan, error) {
+	return &hammingCompiled{p: p, f: f}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *hammingCompiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	p, f := c.p, c.f
+	q := f.Q
+	t := p.a.T
+	le := f.NewLagrangeEvaluatorZeroBased(p.grid)
+	phi := make([]uint64, p.grid)
+	z := make([]uint64, t)
+	w := make([]uint64, t)
+	out := make([][]uint64, len(xs))
+	for xi, x0 := range xs {
+		le.At(x0, phi)
+		for j := range z {
+			z[j] = 0
+		}
+		for l := range w {
+			w[l] = 0
+		}
+		for pt, v := range phi {
+			if v == 0 {
+				continue
+			}
+			i := pt / (t + 1)
+			h := pt % (t + 1)
+			if i >= 1 {
+				row := p.a.Bits[(i-1)*t:]
+				for j := 0; j < t; j++ {
+					if row[j] == 1 {
+						z[j] = f.Add(z[j], v)
+					}
+				}
+			}
+			for l := 1; l <= t; l++ {
+				val := l - 1
+				if l-1 >= h {
+					val = l
+				}
+				if val != 0 {
+					w[l-1] = f.Add(w[l-1], f.Mul(uint64(val)%q, v))
+				}
+			}
+		}
+		total := uint64(0)
+		for k := 0; k < p.b.N; k++ {
+			row := p.b.Bits[k*t:]
+			dist := uint64(0)
+			for j := 0; j < t; j++ {
+				if row[j] == 1 {
+					dist = f.Add(dist, f.Sub(1, z[j]))
+				} else {
+					dist = f.Add(dist, z[j])
+				}
+			}
+			prod := uint64(1)
+			for l := 0; l < t && prod != 0; l++ {
+				prod = f.Mul(prod, f.Sub(dist, w[l]))
+			}
+			total = f.Add(total, prod)
+		}
+		out[xi] = []uint64{total}
+	}
+	return out, nil
 }
 
 // Distribution recovers c_ih for i = 1..n, h = 0..t.

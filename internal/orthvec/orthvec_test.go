@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"camelot/internal/core"
+	"camelot/internal/ff"
 )
 
 func randBool(rng *rand.Rand, n, t int, density float64) *BoolMatrix {
@@ -241,7 +242,15 @@ func TestOVEvaluateBlockMatchesEvaluate(t *testing.T) {
 		xs = append(xs, x)
 	}
 	xs = append(xs, 54321, 999983%q)
-	rows, err := p.EvaluateBlock(q, xs)
+	f, err := ff.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pl.EvaluateBlock(xs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"camelot/internal/core"
 	"camelot/internal/crt"
 	"camelot/internal/ff"
+	"camelot/internal/plan"
 )
 
 // Problem is the Camelot permanent problem.
@@ -24,8 +25,8 @@ type Problem struct {
 }
 
 var (
-	_ core.Problem      = (*Problem)(nil)
-	_ core.BatchProblem = (*Problem)(nil)
+	_ core.Problem         = (*Problem)(nil)
+	_ core.CompiledProblem = (*Problem)(nil)
 )
 
 // NewProblem builds the problem for a square integer matrix.
@@ -193,24 +194,36 @@ func (p *Problem) reducedMatrix(f ff.Field) []uint64 {
 	return am
 }
 
-// EvaluateBlock implements core.BatchProblem. The per-point Evaluate
-// spends its time in two places: the O(2^{n/2}·n) Gray-code sweep over
-// suffix assignments (half of which is maintaining the suffix row sums)
-// and the O(2^{n/2}) Lagrange vector. Across a block the suffix row
-// sums and Gray-code bookkeeping are identical for every point, so this
-// path updates them once per step for the whole block and reuses one
-// Lagrange evaluator — roughly halving the per-point work for large
-// blocks.
+// compiled is the permanent Plan for one prime: the reduced matrix is
+// hoisted to compile time; the Lagrange evaluator and all sweep state
+// are per-call scratch (built once per block, amortized over its
+// points), so one plan serves concurrent chunk tasks.
+type compiled struct {
+	p  *Problem
+	f  ff.Field
+	am []uint64 // reducedMatrix(f), read-only after compile
+}
+
+// Compile implements plan.Compiler. The per-point Evaluate spends its
+// time in two places: the O(2^{n/2}·n) Gray-code sweep over suffix
+// assignments (half of which is maintaining the suffix row sums) and
+// the O(2^{n/2}) Lagrange vector. Across a block the suffix row sums
+// and Gray-code bookkeeping are identical for every point, so the
+// compiled path updates them once per step for the whole block and
+// reuses one Lagrange evaluator — roughly halving the per-point work
+// for large blocks.
 //
 // Deliberately NOT shared with Evaluate: verification re-evaluates
 // through the per-point path, so the two independent implementations
-// cross-check each other and a batch bug fails verification loudly
+// cross-check each other and a plan bug fails verification loudly
 // instead of silently corrupting the recovered permanent.
-func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
+func (p *Problem) Compile(f ff.Field) (plan.Plan, error) {
+	return &compiled{p: p, f: f, am: p.reducedMatrix(f)}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *compiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	p, f, am := c.p, c.f, c.am
 	n, half := p.n, p.half
 	rest := n - half
 	m := len(xs)
@@ -219,7 +232,6 @@ func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
 		return out, nil
 	}
 	k := f.Kernel()
-	am := p.reducedMatrix(f)
 	le := f.NewLagrangeEvaluatorZeroBased(1 << uint(half))
 	phi := make([]uint64, 1<<uint(half))
 	z := make([]uint64, half)

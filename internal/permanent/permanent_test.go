@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"camelot/internal/core"
+	"camelot/internal/ff"
 )
 
 func randMatrix(rng *rand.Rand, n int, lo, hi int64) [][]int64 {
@@ -184,9 +185,17 @@ func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
 			t.Fatal(err)
 		}
 		const q = uint64(1048583)
+		f, err := ff.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := p.Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Mix grid points (indicator Lagrange) and far-off points.
 		xs := []uint64{0, 1, 2, uint64(1)<<uint(n/2) + 5, 99991 % q, 123456 % q}
-		rows, err := p.EvaluateBlock(q, xs)
+		rows, err := pl.EvaluateBlock(xs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +219,15 @@ func TestEvaluateBlockEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := p.EvaluateBlock(1048583, nil)
+	f, err := ff.New(1048583)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pl.EvaluateBlock(nil)
 	if err != nil || len(rows) != 0 {
 		t.Fatalf("empty block: rows=%v err=%v", rows, err)
 	}

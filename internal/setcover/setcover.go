@@ -9,13 +9,13 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
-	"sync"
 
 	"camelot/internal/bipoly"
 	"camelot/internal/core"
 	"camelot/internal/crt"
 	"camelot/internal/ff"
 	"camelot/internal/partition"
+	"camelot/internal/plan"
 	"camelot/internal/yates"
 )
 
@@ -50,6 +50,7 @@ type ExactCoverProblem struct {
 }
 
 var _ core.Problem = (*ExactCoverProblem)(nil)
+var _ core.CompiledProblem = (*ExactCoverProblem)(nil)
 
 // NewExactCoverProblem builds the Theorem 10 Camelot problem.
 func NewExactCoverProblem(family []uint64, n, t int) (*ExactCoverProblem, error) {
@@ -122,6 +123,47 @@ func (p *ExactCoverProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	return []uint64{vals[p.t-1]}, nil
 }
 
+// exactCompiled is the ExactCoverProblem Plan for one prime: the field
+// and ring are bound once; every per-point structure (x0 powers, the
+// scatter lattice) is allocated inside EvaluateBlock.
+type exactCompiled struct {
+	p    *ExactCoverProblem
+	f    ff.Field
+	ring bipoly.Ring
+}
+
+// Compile implements plan.Compiler: the ring construction is hoisted;
+// the arithmetic per point is identical to Evaluate, so rows agree bit
+// for bit.
+func (p *ExactCoverProblem) Compile(f ff.Field) (plan.Plan, error) {
+	return &exactCompiled{p: p, f: f, ring: p.split.Ring(f)}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *exactCompiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	p := c.p
+	ne := len(p.split.E)
+	eFull := uint64(1)<<uint(ne) - 1
+	rows := make([][]uint64, len(xs))
+	for i, x0 := range xs {
+		xp := p.split.NewXPowers(c.f, x0)
+		g := make([]bipoly.Poly, 1<<uint(ne))
+		for _, x := range p.family {
+			eMask := x & eFull
+			bMask := x >> uint(ne)
+			mono := c.ring.Monomial(popcount(eMask), popcount(bMask), xp.ForMask(bMask))
+			g[eMask] = c.ring.AddInPlace(g[eMask], mono)
+		}
+		yates.Zeta(ne, g, c.ring.AddInPlace)
+		vals, err := p.split.EvaluateAll(c.ring, g, p.t)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = []uint64{vals[p.t-1]}
+	}
+	return rows, nil
+}
+
 // RecoverTuples extracts the ordered-tuple count: it is the coefficient
 // p_{2^{|B|}-1} of the decoded proof, CRT'd over the primes.
 func (p *ExactCoverProblem) RecoverTuples(proof *core.Proof) (*big.Int, error) {
@@ -158,10 +200,10 @@ type CoverProblem struct {
 	n, t   int
 	// n1 is the number of D(x)-interpolated variables (2^{n1} grid).
 	n1, n2 int
-	// planOnce lazily builds the modulus- and point-independent suffix
-	// plan used by EvaluateBlock; Evaluate stays self-contained.
-	planOnce sync.Once
-	plan     coverPlan
+	// suffixes is the modulus- and point-independent suffix plan used by
+	// the compiled block path, built once at construction; Evaluate
+	// stays self-contained.
+	suffixes coverPlan
 }
 
 // coverPlan is the x0- and q-independent structure of the 2^{n2} suffix
@@ -193,11 +235,11 @@ func (p *CoverProblem) buildPlan() {
 		prefixes[suffix] = surv
 		negate[suffix] = bits.OnesCount64(suffix)%2 == 1
 	}
-	p.plan = coverPlan{prefixes: prefixes, negate: negate}
+	p.suffixes = coverPlan{prefixes: prefixes, negate: negate}
 }
 
 var _ core.Problem = (*CoverProblem)(nil)
-var _ core.BatchProblem = (*CoverProblem)(nil)
+var _ core.CompiledProblem = (*CoverProblem)(nil)
 
 // NewCoverProblem builds the Theorem 9 Camelot problem.
 func NewCoverProblem(family []uint64, n, t int) (*CoverProblem, error) {
@@ -208,7 +250,9 @@ func NewCoverProblem(family []uint64, n, t int) (*CoverProblem, error) {
 		return nil, fmt.Errorf("setcover: t = %d must be positive", t)
 	}
 	n1 := (n + 1) / 2
-	return &CoverProblem{family: family, n: n, t: t, n1: n1, n2: n - n1}, nil
+	p := &CoverProblem{family: family, n: n, t: t, n1: n1, n2: n - n1}
+	p.buildPlan()
+	return p, nil
 }
 
 // Name implements core.Problem.
@@ -292,19 +336,31 @@ func (p *CoverProblem) Evaluate(q, x0 uint64) ([]uint64, error) {
 	return []uint64{total}, nil
 }
 
-// EvaluateBlock implements core.BatchProblem. It produces bit-identical
-// rows to Evaluate (exact modular arithmetic: dropping the zero products
-// of non-surviving sets and the unit factors of suffix variables set to 1
-// cannot change any value) while amortizing two costs across the block:
-// the Lagrange evaluator's factorial/inverse setup, and the per-suffix
-// family filtering, which the cached coverPlan hoists out of the
-// per-point loop entirely.
-func (p *CoverProblem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
-	p.planOnce.Do(p.buildPlan)
+// coverCompiled is the CoverProblem Plan for one prime. The suffix plan
+// is construction-time state on the problem; the Lagrange evaluator
+// carries per-call scratch, so it is built inside EvaluateBlock (once
+// per block — its factorial/inverse setup still amortizes over the
+// block's points) rather than stored here.
+type coverCompiled struct {
+	p *CoverProblem
+	f ff.Field
+}
+
+// Compile implements plan.Compiler. The compiled path produces
+// bit-identical rows to Evaluate (exact modular arithmetic: dropping
+// the zero products of non-surviving sets and the unit factors of
+// suffix variables set to 1 cannot change any value) while amortizing
+// two costs across each block: the Lagrange evaluator's
+// factorial/inverse setup, and the per-suffix family filtering, which
+// the construction-time coverPlan hoists out of the per-point loop
+// entirely.
+func (p *CoverProblem) Compile(f ff.Field) (plan.Plan, error) {
+	return &coverCompiled{p: p, f: f}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *coverCompiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	p, f := c.p, c.f
 	le := f.NewLagrangeEvaluatorZeroBased(1 << uint(p.n1))
 	phi := make([]uint64, 1<<uint(p.n1))
 	// Per point: D_j(x0) for the first n1 variables, plus the fixed part
@@ -335,13 +391,13 @@ func (p *CoverProblem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) 
 		signs[xi] = sign
 	}
 	totals := make([]uint64, len(xs))
-	for suffix, surv := range p.plan.prefixes {
+	for suffix, surv := range p.suffixes.prefixes {
 		for xi := range xs {
 			sign := signs[xi]
 			if sign == 0 {
 				continue
 			}
-			if p.plan.negate[suffix] {
+			if p.suffixes.negate[suffix] {
 				sign = f.Neg(sign)
 			}
 			y := ys[xi]

@@ -130,10 +130,10 @@ func TestCoverCamelotMatchesIE(t *testing.T) {
 	}
 }
 
-// TestEvaluateBlockMatchesEvaluate pins the BatchProblem contract:
-// EvaluateBlock must reproduce Evaluate bit-for-bit, including at grid
-// points (indicator-vector Lagrange basis), points beyond the grid, and
-// families with duplicate or overlapping sets.
+// TestEvaluateBlockMatchesEvaluate pins the plan.Plan contract: the
+// compiled EvaluateBlock must reproduce Evaluate bit-for-bit, including
+// at grid points (indicator-vector Lagrange basis), points beyond the
+// grid, and families with duplicate or overlapping sets.
 func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	fams := map[string][]uint64{
@@ -156,8 +156,16 @@ func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
 				t.Fatal(err)
 			}
 			q := ff.NextPrime(p.MinModulus())
+			f, err := ff.New(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := p.Compile(f)
+			if err != nil {
+				t.Fatalf("%s t=%d: Compile: %v", name, tt, err)
+			}
 			xs := []uint64{0, 1, 2, uint64(1)<<uint(p.n1) - 1, 1 << uint(p.n1), 777, q - 1}
-			rows, err := p.EvaluateBlock(q, xs)
+			rows, err := pl.EvaluateBlock(xs)
 			if err != nil {
 				t.Fatalf("%s t=%d: EvaluateBlock: %v", name, tt, err)
 			}

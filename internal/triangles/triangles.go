@@ -18,6 +18,7 @@ import (
 	"camelot/internal/ff"
 	"camelot/internal/graph"
 	"camelot/internal/matrix"
+	"camelot/internal/plan"
 	"camelot/internal/tensor"
 	"camelot/internal/yates"
 )
@@ -191,9 +192,6 @@ type Problem struct {
 	dc     tensor.Decomposition
 	ell    int
 	nParts int
-
-	mu      sync.Mutex
-	triples map[uint64]*sparseTriple
 }
 
 var _ core.Problem = (*Problem)(nil)
@@ -210,7 +208,7 @@ func NewProblem(g *graph.Graph, base tensor.Decomposition) (*Problem, error) {
 	for i := 0; i < dc.T-ell; i++ {
 		nParts *= dc.R0
 	}
-	return &Problem{g: g, dc: dc, ell: ell, nParts: nParts, triples: make(map[uint64]*sparseTriple)}, nil
+	return &Problem{g: g, dc: dc, ell: ell, nParts: nParts}, nil
 }
 
 // Name implements core.Problem.
@@ -255,31 +253,15 @@ func (p *Problem) NumPrimes() int {
 	return np
 }
 
-func (p *Problem) tripleFor(q uint64) (*sparseTriple, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if t, ok := p.triples[q]; ok {
-		return t, nil
-	}
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
-	t, err := newSparseTriple(f, p.g, p.dc, p.ell)
-	if err != nil {
-		return nil, err
-	}
-	p.triples[q] = t
-	return t, nil
-}
-
-// Evaluate implements core.Problem: P(z0) mod q.
+// Evaluate implements core.Problem: P(z0) mod q. It rebuilds the
+// per-prime edge reduction per call — the compiled plan is the
+// amortized path.
 func (p *Problem) Evaluate(q, z0 uint64) ([]uint64, error) {
-	triple, err := p.tripleFor(q)
+	f, err := ff.New(q)
 	if err != nil {
 		return nil, err
 	}
-	f, err := ff.New(q)
+	triple, err := newSparseTriple(f, p.g, p.dc, p.ell)
 	if err != nil {
 		return nil, err
 	}
@@ -293,32 +275,41 @@ func (p *Problem) Evaluate(q, z0 uint64) ([]uint64, error) {
 	return []uint64{acc}, nil
 }
 
-var _ core.BatchProblem = (*Problem)(nil)
+var _ core.CompiledProblem = (*Problem)(nil)
 
-// EvaluateBlock implements core.BatchProblem: the per-prime edge
-// reduction (sparse adjacency entries, digit tables — cached in the
-// per-prime triple) and the per-point Lagrange setup (factorial
-// products, fixed denominator inverses, the transposed base — hoisted
-// into three yates.PartsEvaluators built once per block) are amortized
-// across the whole block instead of being paid per point. Results are
+// compiled is the triangle Plan for one prime: the sparse triple (edge
+// reduction, digit tables) is built once at compile time; the
+// scratch-carrying parts evaluators are created per EvaluateBlock call.
+type compiled struct {
+	f      ff.Field
+	triple *sparseTriple
+}
+
+// Compile implements plan.Compiler: the per-prime edge reduction
+// (sparse adjacency entries, digit tables) compiles once, and each
+// block hoists the per-point Lagrange setup (factorial products, fixed
+// denominator inverses, the transposed base) into three
+// yates.PartsEvaluators instead of paying it per point. Results are
 // bit-identical to Evaluate: the amortized and one-shot Lagrange
-// kernels produce the same residues, so batch and per-point protocol
+// kernels produce the same residues, so compiled and per-point protocol
 // paths decode to the same proof.
-func (p *Problem) EvaluateBlock(q uint64, xs []uint64) ([][]uint64, error) {
-	triple, err := p.tripleFor(q)
+func (p *Problem) Compile(f ff.Field) (plan.Plan, error) {
+	triple, err := newSparseTriple(f, p.g, p.dc, p.ell)
 	if err != nil {
 		return nil, err
 	}
-	f, err := ff.New(q)
-	if err != nil {
-		return nil, err
-	}
+	return &compiled{f: f, triple: triple}, nil
+}
+
+// EvaluateBlock implements plan.Plan.
+func (c *compiled) EvaluateBlock(xs []uint64) ([][]uint64, error) {
+	f := c.f
 	// Per-call evaluators: they carry scratch, so they cannot be shared
 	// between concurrent EvaluateBlock calls; their construction cost is
 	// amortized over the block.
-	ea := triple.a.ss.NewPartsEvaluator()
-	eb := triple.b.ss.NewPartsEvaluator()
-	ec := triple.c.ss.NewPartsEvaluator()
+	ea := c.triple.a.ss.NewPartsEvaluator()
+	eb := c.triple.b.ss.NewPartsEvaluator()
+	ec := c.triple.c.ss.NewPartsEvaluator()
 	fk := f.Kernel()
 	out := make([][]uint64, len(xs))
 	for i, z0 := range xs {

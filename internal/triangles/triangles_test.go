@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"camelot/internal/core"
+	"camelot/internal/ff"
 	"camelot/internal/graph"
 	"camelot/internal/tensor"
 )
@@ -228,9 +229,9 @@ func BenchmarkItaiRodeh64(b *testing.B) {
 }
 
 func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
-	// The BatchProblem fast path must be bit-identical to point-wise
-	// Evaluate (the verification stage evaluates through Evaluate, so
-	// any divergence would fail verification instead of corrupting the
+	// The compiled plan must be bit-identical to point-wise Evaluate
+	// (the verification stage evaluates through Evaluate, so any
+	// divergence would fail verification instead of corrupting the
 	// proof silently). Cover sparse and dense graphs, on- and off-grid
 	// points, and values needing reduction mod q.
 	for _, tc := range []struct {
@@ -254,7 +255,15 @@ func TestEvaluateBlockMatchesEvaluate(t *testing.T) {
 				xs = append(xs, x)
 			}
 			xs = append(xs, uint64(p.NumParts()), uint64(p.NumParts())+1, q[0]-1, q[0], q[0]+7)
-			rows, err := p.EvaluateBlock(q[0], xs)
+			f, err := ff.New(q[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := p.Compile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := pl.EvaluateBlock(xs)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -54,3 +54,67 @@ func TestNoFieldLiteralsOutsideFF(t *testing.T) {
 			strings.Join(offenders, "\n  "))
 	}
 }
+
+// problemPackages are the problem-zoo packages whose per-prime state
+// must live in compiled plans (internal/plan), not in ad-hoc lazy
+// caches inside the problem type.
+var problemPackages = []string{
+	"internal/chromatic",
+	"internal/cliques",
+	"internal/cnfsat",
+	"internal/conv3sum",
+	"internal/csp",
+	"internal/hamilton",
+	"internal/orthvec",
+	"internal/permanent",
+	"internal/setcover",
+	"internal/triangles",
+	"internal/tutte",
+}
+
+// lockGrandfathered lists problem-package files still allowed to hold a
+// sync.Once or sync.Mutex. Empty: every per-prime cache has moved to
+// the plan layer. Do not add entries — compile per-prime state through
+// plan.Compiler instead.
+var lockGrandfathered = map[string]bool{}
+
+// TestNoAdHocPlanCachesInProblems enforces the plan-layer contract: a
+// problem package that memoizes per-prime state behind sync.Once or a
+// sync.Mutex is rebuilding the compiled-plan machinery privately —
+// unshared across tenants, invisible to the cluster's plan cache, and
+// a lock on the scheduler's hot path. Per-prime state belongs in
+// Compile (plan.Compiler); cross-call coordination inside a plan is a
+// design smell the equivalence tests cannot catch. sync.WaitGroup
+// (fan-out joins) stays allowed.
+func TestNoAdHocPlanCachesInProblems(t *testing.T) {
+	var offenders []string
+	for _, pkg := range problemPackages {
+		entries, err := os.ReadDir(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range entries {
+			name := d.Name()
+			if d.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := pkg + "/" + name
+			if lockGrandfathered[path] {
+				continue
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				if strings.Contains(line, "sync.Once") || strings.Contains(line, "sync.Mutex") {
+					offenders = append(offenders, fmt.Sprintf("%s:%d: %s", path, i+1, strings.TrimSpace(line)))
+				}
+			}
+		}
+	}
+	if len(offenders) > 0 {
+		t.Fatalf("ad-hoc lazy caches in problem packages (move per-prime state into plan.Compiler.Compile):\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}

@@ -376,9 +376,19 @@ type countingProblem struct {
 
 func (p countingProblem) Count(proof *Proof) (*big.Int, error) { return p.count(proof) }
 
-// countingBatchProblem preserves the BatchProblem fast path through the
-// adapter: embedding the bare Problem interface would hide
-// EvaluateBlock from the scheduler's type assertion.
+// countingCompiledProblem preserves the compiled-plan fast path through
+// the adapter: embedding the bare Problem interface would hide Compile
+// from the planner's type assertion, silently downgrading every spec
+// workload to per-point evaluation.
+type countingCompiledProblem struct {
+	core.CompiledProblem
+	count func(*core.Proof) (*big.Int, error)
+}
+
+func (p countingCompiledProblem) Count(proof *Proof) (*big.Int, error) { return p.count(proof) }
+
+// countingBatchProblem preserves the legacy BatchProblem seam for
+// problems that block-evaluate without a compile phase.
 type countingBatchProblem struct {
 	core.BatchProblem
 	count func(*core.Proof) (*big.Int, error)
@@ -387,6 +397,9 @@ type countingBatchProblem struct {
 func (p countingBatchProblem) Count(proof *Proof) (*big.Int, error) { return p.count(proof) }
 
 func newCountingProblem(p core.Problem, count func(*core.Proof) (*big.Int, error)) CountingProblem {
+	if cp, ok := p.(core.CompiledProblem); ok {
+		return countingCompiledProblem{CompiledProblem: cp, count: count}
+	}
 	if bp, ok := p.(core.BatchProblem); ok {
 		return countingBatchProblem{BatchProblem: bp, count: count}
 	}

@@ -11,12 +11,12 @@
 # coincide and the parallel speedups come out ~1.0 by construction.
 #
 # Usage: scripts/bench.sh [N]
-#   N        suffix for BENCH_N.json (default 5)
+#   N        suffix for BENCH_N.json (default 6)
 #   BENCHTIME  overrides the go benchtime (default 2s for micro, 10x for e2e)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N="${1:-5}"
+N="${1:-6}"
 MICRO_TIME="${BENCHTIME:-2s}"
 E2E_TIME="${BENCHTIME:-10x}"
 OUT="BENCH_${N}.json"
@@ -88,12 +88,22 @@ END {
     if (cb > 0 && cp > 0) { printf "%s    \"chromatic_block_vs_perpoint\": %.3f", sep, cp / cb; sep = ",\n" }
     sb = v["BenchmarkE14BatchSetCover/batch@" ncpu]; sp = v["BenchmarkE14BatchSetCover/perpoint@" ncpu]
     if (sb > 0 && sp > 0) { printf "%s    \"setcover_block_vs_perpoint\": %.3f", sep, sp / sb; sep = ",\n" }
+    tb = v["BenchmarkE14BatchTutte/batch@" ncpu]; tp = v["BenchmarkE14BatchTutte/perpoint@" ncpu]
+    if (tb > 0 && tp > 0) { printf "%s    \"tutte_block_vs_perpoint\": %.3f", sep, tp / tb; sep = ",\n" }
+    hb = v["BenchmarkE14BatchHamilton/batch@" ncpu]; hp = v["BenchmarkE14BatchHamilton/perpoint@" ncpu]
+    if (hb > 0 && hp > 0) { printf "%s    \"hamilton_block_vs_perpoint\": %.3f", sep, hp / hb; sep = ",\n" }
+    ob = v["BenchmarkE14BatchConv3SUM/batch@" ncpu]; op = v["BenchmarkE14BatchConv3SUM/perpoint@" ncpu]
+    if (ob > 0 && op > 0) { printf "%s    \"conv3sum_block_vs_perpoint\": %.3f", sep, op / ob; sep = ",\n" }
+    xb = v["BenchmarkE14BatchCSP/batch@" ncpu]; xp = v["BenchmarkE14BatchCSP/perpoint@" ncpu]
+    if (xb > 0 && xp > 0) { printf "%s    \"csp_block_vs_perpoint\": %.3f", sep, xp / xb; sep = ",\n" }
     cl = v["BenchmarkJobsClusterThroughput@" ncpu]; sq = v["BenchmarkJobsSequentialRun@" ncpu]
     tc = v["BenchmarkJobsTutteConcurrentLines@" ncpu]; ts = v["BenchmarkJobsTutteSequentialLines@" ncpu]
     if (cl > 0 && sq > 0) { printf "%s    \"cluster_jobs_per_sec_vs_sequential\": %.3f", sep, sq / cl; sep = ",\n" }
     if (tc > 0 && ts > 0) { printf "%s    \"tutte_concurrent_vs_sequential\": %.3f", sep, ts / tc; sep = ",\n" }
     sf = v["BenchmarkServeFirstRun@" ncpu]; sh = v["BenchmarkServeCacheHit@" ncpu]
     if (sf > 0 && sh > 0) { printf "%s    \"serve_cache_hit_speedup\": %.3f", sep, sf / sh; sep = ",\n" }
+    pc = v["BenchmarkServePlanCold@" ncpu]; pw = v["BenchmarkServePlanWarm@" ncpu]
+    if (pc > 0 && pw > 0) { printf "%s    \"plan_cache_reuse\": %.3f", sep, pc / pw; sep = ",\n" }
     printf "\n  }\n}\n"
 }' "$TMP" > "$OUT"
 
